@@ -1,0 +1,111 @@
+// Command gpureach runs one application on one configuration of the
+// simulated GPU and prints the measured translation behaviour.
+//
+// Examples:
+//
+//	gpureach -app ATAX                      # baseline
+//	gpureach -app ATAX -scheme ic+lds       # the paper's full design
+//	gpureach -app GUPS -scheme lds -scale 0.25
+//	gpureach -app BICG -l2tlb 8192 -pagesize 2M
+//	gpureach -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpureach/internal/core"
+	"gpureach/internal/vm"
+	"gpureach/internal/workloads"
+)
+
+var schemes = map[string]func() core.Scheme{
+	"baseline":       core.Baseline,
+	"lds":            core.LDSOnly,
+	"ic-1tx":         core.ICOneTx,
+	"ic-naive":       core.ICNaive,
+	"ic-aware":       core.ICAware,
+	"ic-aware+flush": core.ICAwareFlush,
+	"ic+lds":         core.Combined,
+	"ducati":         core.DucatiOnly,
+	"ic+lds+ducati":  core.CombinedDucati,
+}
+
+func main() {
+	app := flag.String("app", "ATAX", "workload name (see -list)")
+	scheme := flag.String("scheme", "baseline", "translation scheme: "+strings.Join(schemeNames(), ", "))
+	scale := flag.Float64("scale", 1.0, "footprint/instruction scale factor")
+	l2tlb := flag.Int("l2tlb", 512, "L2 TLB entries")
+	pageSize := flag.String("pagesize", "4K", "page size: 4K, 64K or 2M")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads (Table 2):")
+		for _, w := range workloads.All() {
+			fmt.Printf("  %-5s %-10s category=%s usesLDS=%v b2bKernels=%v\n",
+				w.Name, w.Suite, w.Category, w.UsesLDS, w.B2B)
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *app)
+		os.Exit(2)
+	}
+	mk, ok := schemes[*scheme]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (options: %s)\n", *scheme, strings.Join(schemeNames(), ", "))
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig(mk())
+	cfg.L2TLBEntries = *l2tlb
+	switch strings.ToUpper(*pageSize) {
+	case "4K":
+		cfg.PageSize = vm.Page4K
+	case "64K":
+		cfg.PageSize = vm.Page64K
+	case "2M":
+		cfg.PageSize = vm.Page2M
+	default:
+		fmt.Fprintf(os.Stderr, "unknown page size %q\n", *pageSize)
+		os.Exit(2)
+	}
+
+	r := core.Run(cfg, w, *scale)
+	fmt.Printf("app            %s (%s, category %s)\n", w.Name, w.Suite, w.Category)
+	fmt.Printf("scheme         %s\n", r.Scheme)
+	fmt.Printf("cycles         %d\n", r.Cycles)
+	fmt.Printf("kernels        %d\n", r.KernelsRun)
+	fmt.Printf("wave instrs    %d (thread instrs %d)\n", r.WaveInstrs, r.ThreadInstrs)
+	fmt.Printf("page walks     %d (PTW-PKI %.2f, L2-TLB misses %d)\n", r.PageWalks, r.PTWPKI, r.L2TLBMisses)
+	fmt.Printf("L1 TLB hit     %.1f%%\n", 100*r.L1TLBHitRate)
+	fmt.Printf("L2 TLB hit     %.1f%%\n", 100*r.L2TLBHitRate)
+	fmt.Printf("victim hits    LDS=%d IC=%d (of %d post-L1 lookups)\n", r.LDSTxHits, r.ICTxHits, r.VictimLookups)
+	if r.DucatiHits > 0 {
+		fmt.Printf("DUCATI hits    %d\n", r.DucatiHits)
+	}
+	fmt.Printf("DRAM           %d reads, %d writes, %.2f mJ\n", r.DRAMReads, r.DRAMWrites, r.DRAMEnergyPJ/1e9)
+	fmt.Printf("peak Tx gained %d entries\n", r.PeakTxResident)
+	fmt.Printf("Tx shared      %.1f%% across CUs\n", 100*r.SharedTxFraction)
+}
+
+func schemeNames() []string {
+	names := make([]string, 0, len(schemes))
+	for n := range schemes {
+		names = append(names, n)
+	}
+	// Stable order for help text.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,3 @@
+module gpureach
+
+go 1.22

@@ -1,0 +1,241 @@
+// Package cache implements the GPU's data-cache hierarchy (Table 1:
+// 32KB 8-way L1 per CU, 4MB 16-way shared L2) as generic write-back,
+// write-allocate set-associative caches with LRU replacement, a
+// pipelined port, MSHR-style miss merging, and an asynchronous backing
+// interface so that misses generate real traffic in the next level and,
+// ultimately, the DRAM model.
+package cache
+
+import (
+	"fmt"
+
+	"gpureach/internal/sim"
+	"gpureach/internal/vm"
+)
+
+// Memory is anything that can service a physical-address access and call
+// done when the data is available (or, for writes, accepted).
+type Memory interface {
+	Access(addr vm.PA, write bool, done func())
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	MergedMiss uint64
+	Writebacks uint64
+	Evictions  uint64
+}
+
+// HitRate returns hits/accesses, or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	stamp uint64
+}
+
+// Cache is one level of the data hierarchy.
+type Cache struct {
+	name       string
+	eng        *sim.Engine
+	parent     Memory
+	sets       [][]line
+	ways       int
+	lineBits   uint
+	hitLatency sim.Time
+	port       *sim.Port
+	clock      uint64
+	mshr       map[uint64][]func()
+	stats      Stats
+}
+
+// Config describes a cache level.
+type Config struct {
+	Name string
+	// SizeBytes / LineBytes / Ways define the geometry.
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// HitLatency is the access latency in cycles for a tag+data hit.
+	HitLatency sim.Time
+	// PortInterval is the initiation interval of the single access port.
+	PortInterval sim.Time
+}
+
+// New builds a cache on engine eng backed by parent.
+func New(eng *sim.Engine, cfg Config, parent Memory) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %q: bad geometry %+v", cfg.Name, cfg))
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %q: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways))
+	}
+	lineBits := uint(0)
+	for v := cfg.LineBytes; v > 1; v >>= 1 {
+		lineBits++
+	}
+	if 1<<lineBits != cfg.LineBytes {
+		panic(fmt.Sprintf("cache %q: line size %d not a power of two", cfg.Name, cfg.LineBytes))
+	}
+	numSets := lines / cfg.Ways
+	c := &Cache{
+		name:       cfg.Name,
+		eng:        eng,
+		parent:     parent,
+		ways:       cfg.Ways,
+		lineBits:   lineBits,
+		hitLatency: cfg.HitLatency,
+		port:       sim.NewPort(eng, cfg.PortInterval),
+		sets:       make([][]line, numSets),
+		mshr:       make(map[uint64][]func()),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Port exposes the access port (for utilization reporting).
+func (c *Cache) Port() *sim.Port { return c.port }
+
+func (c *Cache) lineAddr(addr vm.PA) uint64 { return uint64(addr) >> c.lineBits }
+
+// set selects a line's set with an XOR-folded index, as GPU L2 caches
+// do: power-of-two strides (a matrix whose row is exactly one page,
+// page-table node arrays) otherwise resonate onto a handful of sets and
+// the model falls into interleaving-sensitive conflict-thrash regimes
+// that no real memory system exhibits.
+func (c *Cache) set(lineAddr uint64) []line {
+	h := lineAddr ^ lineAddr>>12 ^ lineAddr>>23
+	return c.sets[h%uint64(len(c.sets))]
+}
+
+// lookup returns the way index of lineAddr in its set, or -1.
+func (c *Cache) lookup(lineAddr uint64) int {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Access requests the line containing addr. done runs when the access
+// completes (after hit latency on a hit; after the miss resolves through
+// the parent otherwise). Writes mark the line dirty; dirty victims are
+// written back to the parent asynchronously.
+func (c *Cache) Access(addr vm.PA, write bool, done func()) {
+	grant := c.port.Acquire()
+	la := c.lineAddr(addr)
+	c.stats.Accesses++
+	c.clock++
+
+	if w := c.lookup(la); w >= 0 {
+		set := c.set(la)
+		set[w].stamp = c.clock
+		if write {
+			set[w].dirty = true
+		}
+		c.stats.Hits++
+		c.eng.At(grant+c.hitLatency, done)
+		return
+	}
+
+	c.stats.Misses++
+	fill := func() {
+		c.fill(la, write)
+		done()
+	}
+	if waiters, busy := c.mshr[la]; busy {
+		c.mshr[la] = append(waiters, fill)
+		c.stats.MergedMiss++
+		return
+	}
+	c.mshr[la] = []func(){fill}
+	c.eng.At(grant+c.hitLatency, func() {
+		c.parent.Access(addr, false, func() {
+			waiters := c.mshr[la]
+			delete(c.mshr, la)
+			for _, w := range waiters {
+				w()
+			}
+		})
+	})
+}
+
+// fill installs lineAddr, evicting LRU and writing back dirty victims.
+func (c *Cache) fill(lineAddr uint64, dirty bool) {
+	if w := c.lookup(lineAddr); w >= 0 {
+		// Raced with another fill of the same line.
+		set := c.set(lineAddr)
+		if dirty {
+			set[w].dirty = true
+		}
+		return
+	}
+	set := c.set(lineAddr)
+	c.clock++
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].stamp < set[victim].stamp {
+				victim = i
+			}
+		}
+		if set[victim].dirty {
+			c.stats.Writebacks++
+			wbAddr := vm.PA(set[victim].tag << c.lineBits)
+			c.parent.Access(wbAddr, true, func() {})
+		}
+		c.stats.Evictions++
+	}
+	set[victim] = line{tag: lineAddr, valid: true, dirty: dirty, stamp: c.clock}
+}
+
+// Contains reports whether the line holding addr is resident (no LRU or
+// counter side effects).
+func (c *Cache) Contains(addr vm.PA) bool { return c.lookup(c.lineAddr(addr)) >= 0 }
+
+// Flush invalidates the whole cache, writing back dirty lines.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				c.stats.Writebacks++
+				c.parent.Access(vm.PA(set[i].tag<<c.lineBits), true, func() {})
+			}
+			set[i] = line{}
+		}
+	}
+}
+
+// LineBytes returns the cache's line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineBits }
+
+// Inflight returns the number of outstanding miss groups (diagnostics).
+func (c *Cache) Inflight() int { return len(c.mshr) }

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gpureach/internal/workloads"
+)
+
+// TestCalibrationReport prints the Table 2 characterization at full
+// experiment scale (skipped with -short):
+//
+//	go test ./internal/core/ -run Calibration -v
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short")
+	}
+	for _, w := range workloads.All() {
+		start := time.Now()
+		r := Run(DefaultConfig(Baseline()), w, 1.0)
+		t.Logf("%-5s cat=%s %8.1fms  %v", w.Name, w.Category, float64(time.Since(start).Microseconds())/1000, r)
+	}
+}

@@ -1,0 +1,631 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpureach/internal/metrics"
+	"gpureach/internal/sim"
+	"gpureach/internal/vm"
+	"gpureach/internal/workloads"
+)
+
+// ExpOptions configure an experiment run.
+type ExpOptions struct {
+	// Scale multiplies workload footprints and dynamic instruction
+	// counts (1.0 = the calibrated experiment scale).
+	Scale float64
+	// Apps restricts the run to the named applications (nil = all ten).
+	Apps []string
+}
+
+func (o ExpOptions) workloads() []workloads.Workload {
+	all := workloads.All()
+	if len(o.Apps) == 0 {
+		return all
+	}
+	var out []workloads.Workload
+	for _, name := range o.Apps {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("core: unknown workload %q", name))
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func (o ExpOptions) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+// runKey identifies one deterministic simulation: the full comparable
+// configuration, the application, and the scale.
+type runKey struct {
+	cfg   Config
+	app   string
+	scale float64
+}
+
+// runCache memoizes experiment runs. Simulations are bit-for-bit
+// deterministic, and the figures share many configurations (every
+// experiment needs the per-app baselines; Figures 13b, 13c, 14a, 14b
+// and 15 all need the same scheme runs), so the harness reuses results
+// instead of re-simulating. Cleared with ResetRunCache.
+var runCache = map[runKey]Results{}
+
+// runShared is Run with memoization; experiments use it, tests that
+// need fresh systems use Run directly.
+func runShared(cfg Config, w workloads.Workload, scale float64) Results {
+	key := runKey{cfg: cfg, app: w.Name, scale: scale}
+	if r, ok := runCache[key]; ok {
+		return r
+	}
+	r := Run(cfg, w, scale)
+	runCache[key] = r
+	return r
+}
+
+// ResetRunCache discards memoized experiment runs.
+func ResetRunCache() { runCache = map[runKey]Results{} }
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o ExpOptions) []*metrics.Table
+}
+
+// Experiments returns every experiment, keyed as in DESIGN.md's
+// per-experiment index.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"T2", "Table 2: benchmark characterization", ExpTable2},
+		{"F2F3", "Figures 2+3: page walks and performance vs L2 TLB size", ExpFig2Fig3},
+		{"F4", "Figure 4: LDS capacity and port utilization", ExpFig4},
+		{"F5", "Figure 5: I-cache capacity and port utilization", ExpFig5},
+		{"F11", "Figure 11: per-kernel I-cache utilization", ExpFig11},
+		{"F13a", "Figure 13a: reconfigurable I-cache designs", ExpFig13a},
+		{"F13b", "Figure 13b: LDS / IC / IC+LDS performance", ExpFig13b},
+		{"F13c", "Figure 13c: normalized DRAM energy", ExpFig13c},
+		{"F14a", "Figure 14a: translation sharing across CUs", ExpFig14a},
+		{"F14b", "Figure 14b: normalized page walks", ExpFig14b},
+		{"F14c", "Figure 14c: page-size sensitivity", ExpFig14c},
+		{"F15", "Figure 15: additional translation entries gained", ExpFig15},
+		{"F16a", "Figure 16a: I-cache sharers sensitivity", ExpFig16a},
+		{"F16b", "Figure 16b: extra wire latency sensitivity", ExpFig16b},
+		{"F16c", "Figure 16c: composition with DUCATI", ExpFig16c},
+		{"S631", "Section 6.3.1: LDS segment size sensitivity", ExpLDSSegmentSize},
+		{"S72", "Section 7.2: multi-application co-runs", ExpMultiApp},
+		{"ABLPF", "Ablation: victim cache vs prefetch buffer (§4.1)", ExpPrefetchAblation},
+	}
+}
+
+// ExpPrefetchAblation quantifies the paper's §4.1 design choice: the
+// same reclaimed SRAM organized as a TLB victim cache versus as a
+// next-page prefetch buffer. The paper argues victims win because
+// irregular access patterns are hard to predict; the regular Polybench
+// kernels are the best case for the prefetcher, the random/graph apps
+// the worst.
+func ExpPrefetchAblation(o ExpOptions) []*metrics.Table {
+	t, _, _ := schemeSpeedups(o, "Ablation §4.1 — victim organization vs prefetch organization (speedup vs baseline)",
+		[]Scheme{Combined(), PrefetchBuffer()}, nil)
+	t.AddNote("prefetch walks consume real walker/L2-TLB bandwidth, so mispredictions on irregular apps cost performance")
+	return []*metrics.Table{t}
+}
+
+// ExperimentByID returns the experiment with the given ID.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// paperTable2 holds the paper's reported Table 2 values for side-by-side
+// comparison (kernels per app, back-to-back, L1/L2 hit %, PTW-PKI).
+var paperTable2 = map[string]struct {
+	Kernels int
+	B2B     string
+	L1HR    float64
+	L2HR    float64
+	PKI     float64
+	Cat     string
+}{
+	"ATAX": {2, "No", 63.1, 83.7, 37.68, "H"},
+	"GEV":  {1, "N/A", 27.8, 75.1, 90.737, "H"},
+	"MVT":  {2, "No", 29.1, 83.2, 38.76, "H"},
+	"BICG": {2, "No", 59.1, 83.5, 38.05, "H"},
+	"NW":   {255, "Yes", 34.6, 94.7, 4.92, "M"},
+	"SRAD": {1, "N/A", 20.9, 99.9, 0.04, "L"},
+	"BFS":  {24, "No", 54.8, 85.4, 17.23, "M"},
+	"SSSP": {10504, "No", 78.8, 99.8, 0.17, "L"},
+	"PRK":  {41, "No", 81.3, 99.9, 0.16, "L"},
+	"GUPS": {3, "No", 25.1, 46.8, 36.65, "H"},
+}
+
+// category applies the paper's PTW-PKI banding (§5).
+func category(pki float64) string {
+	switch {
+	case pki >= 20:
+		return "H"
+	case pki > 1:
+		return "M"
+	default:
+		return "L"
+	}
+}
+
+// ExpTable2 reproduces Table 2: per-application kernel counts,
+// back-to-back behaviour, TLB hit ratios and PTW-PKI classification.
+func ExpTable2(o ExpOptions) []*metrics.Table {
+	t := metrics.NewTable("Table 2 — benchmark characterization (measured vs paper)",
+		"app", "kernels", "b2b", "L1-HR", "L2-HR", "PTW-PKI", "cat", "paper-PKI", "paper-cat")
+	for _, w := range o.workloads() {
+		r := runShared(DefaultConfig(Baseline()), w, o.scale())
+		b2b := "No"
+		if w.B2B {
+			b2b = "Yes"
+		}
+		if r.KernelsRun == 1 {
+			b2b = "N/A"
+		}
+		p := paperTable2[w.Name]
+		t.AddRow(w.Name, fmt.Sprint(r.KernelsRun), b2b,
+			metrics.Pct(r.L1TLBHitRate), metrics.Pct(r.L2TLBHitRate),
+			fmt.Sprintf("%.2f", r.PTWPKI), category(r.PTWPKI),
+			fmt.Sprintf("%.2f", p.PKI), p.Cat)
+	}
+	t.AddNote("kernel counts and footprints are scaled down like the paper's own simulated datasets; the classification bands (H ≥ 20, 1 < M < 20, L ≤ 1) are the comparison target")
+	return []*metrics.Table{t}
+}
+
+// l2SweepEntries are the Figure 2/3 L2 TLB sizes, matching the paper's
+// 512 → 2M sweep (the scaled-down footprints saturate before 2M, as the
+// figure shows).
+var l2SweepEntries = []int{512, 1024, 2048, 4096, 8192, 65536, 2097152}
+
+// ExpFig2Fig3 reproduces Figures 2 and 3 from one shared sweep:
+// normalized page walks (Fig 2) and speedup over the 512-entry baseline
+// (Fig 3) as the L2 TLB grows.
+func ExpFig2Fig3(o ExpOptions) []*metrics.Table {
+	headers := []string{"app"}
+	for _, e := range l2SweepEntries[1:] {
+		if e >= 1<<20 {
+			headers = append(headers, fmt.Sprintf("%dM", e/(1<<20)))
+		} else {
+			headers = append(headers, fmt.Sprintf("%dK", e/1024))
+		}
+	}
+	walkHeaders := append(append([]string{}, headers...), "perfect")
+	walks := metrics.NewTable("Figure 2 — page walks normalized to 512-entry L2 TLB", walkHeaders...)
+	perf := metrics.NewTable("Figure 3 — speedup over 512-entry L2 TLB", headers...)
+
+	var perAppSpeedups [][]float64
+	for _, w := range o.workloads() {
+		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		walkRow := []string{w.Name}
+		perfRow := []string{w.Name}
+		var speeds []float64
+		for _, entries := range l2SweepEntries[1:] {
+			cfg := DefaultConfig(Baseline())
+			cfg.L2TLBEntries = entries
+			r := runShared(cfg, w, o.scale())
+			walkRow = append(walkRow, metrics.F(r.NormalizedWalks(base)))
+			s := r.Speedup(base)
+			perfRow = append(perfRow, metrics.F(s))
+			speeds = append(speeds, s)
+		}
+		// The Perfect-L2-TLB bound appears in the walk table, where it is
+		// exact (zero walks); its end-to-end cycles are subject to a
+		// lockstep-convoy artifact of fully uniform translation service
+		// (see EXPERIMENTS.md), so the 2M finite configuration is the
+		// performance column's top.
+		cfg := DefaultConfig(Baseline())
+		cfg.PerfectL2TLB = true
+		r := runShared(cfg, w, o.scale())
+		walkRow = append(walkRow, metrics.F(r.NormalizedWalks(base)))
+		walks.AddRow(walkRow...)
+		perf.AddRow(perfRow...)
+		perAppSpeedups = append(perAppSpeedups, speeds)
+	}
+	if len(perAppSpeedups) > 0 {
+		geoRow := []string{"geomean"}
+		for c := range perAppSpeedups[0] {
+			col := make([]float64, 0, len(perAppSpeedups))
+			for _, row := range perAppSpeedups {
+				col = append(col, row[c])
+			}
+			geoRow = append(geoRow, metrics.F(metrics.Geomean(col)))
+		}
+		perf.AddRow(geoRow...)
+	}
+	perf.AddNote("paper: +14.7%% at 8K entries, up to +50.1%% at 2M; the scaled footprints saturate earlier but the monotone shape and the flat SRAD/SSSP/PRK rows are the target")
+	return []*metrics.Table{walks, perf}
+}
+
+// ExpFig4 reproduces Figure 4: per-work-group LDS bytes requested (a)
+// and LDS port idle-cycle distributions (b).
+func ExpFig4(o ExpOptions) []*metrics.Table {
+	req := metrics.NewTable("Figure 4a — LDS bytes requested per work-group",
+		"app", "S.P", "Q1", "median", "Q3", "L.P", "uses-LDS")
+	idle := metrics.NewTable("Figure 4b — idle cycles between LDS port accesses",
+		"app", "S.P", "Q1", "median", "Q3", "L.P", "accesses")
+	for _, w := range o.workloads() {
+		r := runShared(DefaultConfig(LDSOnly()), w, o.scale())
+		s := r.LDSReqBytes
+		req.AddRow(w.Name, metrics.I(s.Min), metrics.I(s.Q1), metrics.I(s.Median),
+			metrics.I(s.Q3), metrics.I(s.Max), fmt.Sprint(w.UsesLDS))
+		p := r.LDSPortIdle
+		idle.AddRow(w.Name, metrics.I(p.Min), metrics.I(p.Q1), metrics.I(p.Median),
+			metrics.I(p.Q3), metrics.I(p.Max), metrics.I(p.Count))
+	}
+	req.AddNote("paper observation: ~70%% of applications request no LDS at all, and none exhaust the per-CU capacity")
+	return []*metrics.Table{req, idle}
+}
+
+// ExpFig5 reproduces Figure 5: Equation 1 I-cache utilization (a) and
+// I-cache port idle cycles (b).
+func ExpFig5(o ExpOptions) []*metrics.Table {
+	util := metrics.NewTable("Figure 5a — I-cache utilization (Eq. 1), sampled per kernel",
+		"app", "min", "mean", "max", "kernels")
+	idle := metrics.NewTable("Figure 5b — idle cycles between I-cache port accesses",
+		"app", "S.P", "Q1", "median", "Q3", "L.P")
+	for _, w := range o.workloads() {
+		r := runShared(DefaultConfig(Baseline()), w, o.scale())
+		lo, hi := 1.0, 0.0
+		for _, u := range r.ICUtilSamples {
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		if len(r.ICUtilSamples) == 0 {
+			lo = 0
+		}
+		util.AddRow(w.Name, metrics.Pct(lo), metrics.Pct(r.MeanICUtil()), metrics.Pct(hi),
+			fmt.Sprint(r.KernelsRun))
+		p := r.ICPortIdle
+		idle.AddRow(w.Name, metrics.I(p.Min), metrics.I(p.Q1), metrics.I(p.Median),
+			metrics.I(p.Q3), metrics.I(p.Max))
+	}
+	return []*metrics.Table{util, idle}
+}
+
+// ExpFig11 reproduces Figure 11: I-cache utilization kernel by kernel
+// for the multi-kernel applications.
+func ExpFig11(o ExpOptions) []*metrics.Table {
+	const maxSamples = 16
+	t := metrics.NewTable("Figure 11 — per-kernel I-cache utilization over time (first samples)",
+		"app", "samples...")
+	for _, w := range o.workloads() {
+		r := runShared(DefaultConfig(Baseline()), w, o.scale())
+		if r.KernelsRun <= 1 {
+			continue // GEV and SRAD have one kernel (paper omits them too)
+		}
+		row := []string{w.Name}
+		for i, u := range r.ICUtilSamples {
+			if i >= maxSamples {
+				break
+			}
+			row = append(row, metrics.Pct(u))
+		}
+		t.AddRow(row...)
+	}
+	return []*metrics.Table{t}
+}
+
+// schemeSpeedups runs the given schemes over the app set and returns a
+// speedup table plus the per-scheme speedup vectors for aggregation.
+func schemeSpeedups(o ExpOptions, title string, schemes []Scheme, mutate func(*Config)) (*metrics.Table, map[string][]float64, []workloads.Workload) {
+	headers := []string{"app"}
+	for _, s := range schemes {
+		headers = append(headers, s.Name)
+	}
+	t := metrics.NewTable(title, headers...)
+	vectors := make(map[string][]float64)
+	apps := o.workloads()
+	for _, w := range apps {
+		baseCfg := DefaultConfig(Baseline())
+		if mutate != nil {
+			mutate(&baseCfg)
+		}
+		base := runShared(baseCfg, w, o.scale())
+		row := []string{w.Name}
+		for _, s := range schemes {
+			cfg := DefaultConfig(s)
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			r := runShared(cfg, w, o.scale())
+			sp := r.Speedup(base)
+			row = append(row, metrics.F(sp))
+			vectors[s.Name] = append(vectors[s.Name], sp)
+		}
+		t.AddRow(row...)
+	}
+	geo := []string{"geomean"}
+	for _, s := range schemes {
+		geo = append(geo, metrics.F(metrics.Geomean(vectors[s.Name])))
+	}
+	t.AddRow(geo...)
+	return t, vectors, apps
+}
+
+// ExpFig13a reproduces Figure 13a: the four reconfigurable I-cache
+// design points.
+func ExpFig13a(o ExpOptions) []*metrics.Table {
+	t, _, _ := schemeSpeedups(o, "Figure 13a — reconfigurable I-cache designs (speedup vs baseline)",
+		[]Scheme{ICOneTx(), ICNaive(), ICAware(), ICAwareFlush()}, nil)
+	t.AddNote("paper: 1-Tx/way ≈ 1.00, naive ≈ 0.984 (−1.65%%), instr-aware +12.4%%, +flush further +1.2%%")
+	return []*metrics.Table{t}
+}
+
+// ExpFig13b reproduces Figure 13b: LDS-only, IC (preferred design) and
+// IC+LDS speedups, with the paper's geomean aggregations.
+func ExpFig13b(o ExpOptions) []*metrics.Table {
+	t, vectors, apps := schemeSpeedups(o, "Figure 13b — LDS / IC / IC+LDS (speedup vs baseline)",
+		[]Scheme{LDSOnly(), ICAwareFlush(), Combined()}, nil)
+	var hmIdx []int
+	for i, w := range apps {
+		if w.Category != workloads.Low {
+			hmIdx = append(hmIdx, i)
+		}
+	}
+	hmRow := []string{"geomean-H+M"}
+	for _, s := range []Scheme{LDSOnly(), ICAwareFlush(), Combined()} {
+		var hm []float64
+		for _, i := range hmIdx {
+			hm = append(hm, vectors[s.Name][i])
+		}
+		hmRow = append(hmRow, metrics.F(metrics.Geomean(hm)))
+	}
+	t.AddRow(hmRow...)
+	t.AddNote("paper geomeans: LDS +8.6%%, IC +13.6%%, IC+LDS +30.1%% (all apps); +25.9%%/+36.5%%/+147.2%% over High+Medium only; ATAX/BICG peak at ~4.4x")
+	return []*metrics.Table{t}
+}
+
+// ExpFig13c reproduces Figure 13c: DRAM energy normalized to baseline.
+func ExpFig13c(o ExpOptions) []*metrics.Table {
+	schemes := []Scheme{LDSOnly(), ICAwareFlush(), Combined()}
+	headers := []string{"app"}
+	for _, s := range schemes {
+		headers = append(headers, s.Name)
+	}
+	t := metrics.NewTable("Figure 13c — normalized DRAM energy", headers...)
+	vectors := make(map[string][]float64)
+	for _, w := range o.workloads() {
+		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		row := []string{w.Name}
+		for _, s := range schemes {
+			r := runShared(DefaultConfig(s), w, o.scale())
+			e := r.NormalizedEnergy(base)
+			row = append(row, metrics.F(e))
+			vectors[s.Name] = append(vectors[s.Name], e)
+		}
+		t.AddRow(row...)
+	}
+	mean := []string{"mean"}
+	for _, s := range schemes {
+		mean = append(mean, metrics.F(metrics.Mean(vectors[s.Name])))
+	}
+	t.AddRow(mean...)
+	t.AddNote("paper: energy reduced on average by 4.1%% (LDS), 5.2%% (IC), 9.2%% (IC+LDS); GEV peaks at −27.3%%")
+	return []*metrics.Table{t}
+}
+
+// ExpFig14a reproduces Figure 14a: the fraction of resident translations
+// duplicated across CUs.
+func ExpFig14a(o ExpOptions) []*metrics.Table {
+	t := metrics.NewTable("Figure 14a — translations shared across CUs", "app", "shared")
+	for _, w := range o.workloads() {
+		r := runShared(DefaultConfig(Combined()), w, o.scale())
+		t.AddRow(w.Name, metrics.Pct(r.SharedTxFraction))
+	}
+	t.AddNote("paper: significant sharing for all but GEV, NW and SRAD — duplication limits the cumulative reach of per-CU LDS storage")
+	return []*metrics.Table{t}
+}
+
+// ExpFig14b reproduces Figure 14b: page walks normalized to baseline.
+func ExpFig14b(o ExpOptions) []*metrics.Table {
+	schemes := []Scheme{LDSOnly(), ICAwareFlush(), Combined()}
+	headers := []string{"app"}
+	for _, s := range schemes {
+		headers = append(headers, s.Name)
+	}
+	t := metrics.NewTable("Figure 14b — page walks normalized to baseline", headers...)
+	vectors := make(map[string][]float64)
+	for _, w := range o.workloads() {
+		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		row := []string{w.Name}
+		for _, s := range schemes {
+			r := runShared(DefaultConfig(s), w, o.scale())
+			n := r.NormalizedWalks(base)
+			row = append(row, metrics.F(n))
+			if base.PageWalks > 0 {
+				vectors[s.Name] = append(vectors[s.Name], n)
+			}
+		}
+		t.AddRow(row...)
+	}
+	mean := []string{"mean"}
+	for _, s := range schemes {
+		mean = append(mean, metrics.F(metrics.Mean(vectors[s.Name])))
+	}
+	t.AddRow(mean...)
+	t.AddNote("paper: walks reduced by 33.5%% (LDS), 40.6%% (IC), 72.9%% (IC+LDS)")
+	return []*metrics.Table{t}
+}
+
+// ExpFig14c reproduces Figure 14c: IC+LDS speedup at 4KB, 64KB and 2MB
+// page granularities (each vs the baseline at the same page size).
+func ExpFig14c(o ExpOptions) []*metrics.Table {
+	sizes := []vm.PageSize{vm.Page4K, vm.Page64K, vm.Page2M}
+	t := metrics.NewTable("Figure 14c — IC+LDS speedup by page size", "app", "4KB", "64KB", "2MB")
+	vectors := make([][]float64, len(sizes))
+	for _, w := range o.workloads() {
+		row := []string{w.Name}
+		for i, ps := range sizes {
+			baseCfg := DefaultConfig(Baseline())
+			baseCfg.PageSize = ps
+			base := runShared(baseCfg, w, o.scale())
+			cfg := DefaultConfig(Combined())
+			cfg.PageSize = ps
+			r := runShared(cfg, w, o.scale())
+			s := r.Speedup(base)
+			row = append(row, metrics.F(s))
+			vectors[i] = append(vectors[i], s)
+		}
+		t.AddRow(row...)
+	}
+	geo := []string{"geomean"}
+	for i := range sizes {
+		geo = append(geo, metrics.F(metrics.Geomean(vectors[i])))
+	}
+	t.AddRow(geo...)
+	t.AddNote("paper: +30.1%% at 4KB, +18.4%% at 64KB, +5.6%% at 2MB — gains shrink but persist with large pages")
+	return []*metrics.Table{t}
+}
+
+// ExpFig15 reproduces Figure 15: additional translation entries gained.
+func ExpFig15(o ExpOptions) []*metrics.Table {
+	t := metrics.NewTable("Figure 15 — additional translation entries gained (peak resident)",
+		"app", "peak-entries", "structural-max")
+	cfg := DefaultConfig(Combined())
+	ldsMax := cfg.GPU.NumCUs * (cfg.LDS.SizeBytes / cfg.LDS.SegmentBytes) * cfg.LDS.TxWaysPerSegment()
+	icMax := (cfg.GPU.NumCUs / cfg.ICSharers) * (cfg.ICache.SizeBytes / cfg.ICache.LineBytes) * 8
+	max := ldsMax + icMax
+	for _, w := range o.workloads() {
+		r := runShared(DefaultConfig(Combined()), w, o.scale())
+		t.AddRow(w.Name, fmt.Sprint(r.PeakTxResident), fmt.Sprint(max))
+	}
+	t.AddNote("structural bound: %d from LDS (%d/CU × %d CUs) + %d from I-caches — the paper's \"maximum of 16K entries (12K LDS + 4K I-cache)\"",
+		ldsMax, ldsMax/cfg.GPU.NumCUs, cfg.GPU.NumCUs, icMax)
+	return []*metrics.Table{t}
+}
+
+// ExpFig16a reproduces Figure 16a: 1→8 CUs sharing an I-cache at
+// constant total I-cache capacity.
+func ExpFig16a(o ExpOptions) []*metrics.Table {
+	base4 := DefaultConfig(Baseline())
+	totalIC := base4.ICache.SizeBytes * (base4.GPU.NumCUs / base4.ICSharers)
+	sharerSet := []int{1, 2, 4, 8}
+	headers := []string{"app"}
+	for _, s := range sharerSet {
+		headers = append(headers, fmt.Sprintf("%d-CU", s))
+	}
+	t := metrics.NewTable("Figure 16a — IC+LDS speedup vs I-cache sharers (constant total capacity)", headers...)
+	vectors := make([][]float64, len(sharerSet))
+	for _, w := range o.workloads() {
+		row := []string{w.Name}
+		for i, sharers := range sharerSet {
+			mutate := func(c *Config) {
+				c.ICSharers = sharers
+				c.ICache.SizeBytes = totalIC / (c.GPU.NumCUs / sharers)
+			}
+			baseCfg := DefaultConfig(Baseline())
+			mutate(&baseCfg)
+			base := runShared(baseCfg, w, o.scale())
+			cfg := DefaultConfig(Combined())
+			mutate(&cfg)
+			r := runShared(cfg, w, o.scale())
+			s := r.Speedup(base)
+			row = append(row, metrics.F(s))
+			vectors[i] = append(vectors[i], s)
+		}
+		t.AddRow(row...)
+	}
+	geo := []string{"geomean"}
+	for i := range sharerSet {
+		geo = append(geo, metrics.F(metrics.Geomean(vectors[i])))
+	}
+	t.AddRow(geo...)
+	t.AddNote("paper: improvement grows from +17.3%% (private) to +38.4%% (fully shared) as duplication falls")
+	return []*metrics.Table{t}
+}
+
+// ExpFig16b reproduces Figure 16b: +10/50/100-cycle datapath wire
+// latency on the I-cache, the LDS, or both.
+func ExpFig16b(o ExpOptions) []*metrics.Table {
+	lats := []sim.Time{10, 50, 100}
+	t := metrics.NewTable("Figure 16b — IC+LDS geomean speedup with extra wire latency",
+		"target", "+10cy", "+50cy", "+100cy")
+	apps := o.workloads()
+	baselines := make([]Results, len(apps))
+	for i, w := range apps {
+		baselines[i] = runShared(DefaultConfig(Baseline()), w, o.scale())
+	}
+	rows := []struct {
+		name     string
+		icw, ldw bool
+	}{{"IC_only", true, false}, {"LDS_only", false, true}, {"IC_LDS", true, true}}
+	for _, rw := range rows {
+		row := []string{rw.name}
+		for _, lat := range lats {
+			var speeds []float64
+			for i, w := range apps {
+				cfg := DefaultConfig(Combined())
+				if rw.icw {
+					cfg.WireLatencyIC = lat
+				}
+				if rw.ldw {
+					cfg.WireLatencyLDS = lat
+				}
+				speeds = append(speeds, runShared(cfg, w, o.scale()).Speedup(baselines[i]))
+			}
+			row = append(row, metrics.F(metrics.Geomean(speeds)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: even the worst case (+100cy on both) keeps a +9.4%% geomean — GPUs tolerate victim-path latency")
+	return []*metrics.Table{t}
+}
+
+// ExpFig16c reproduces Figure 16c: DUCATI alone and composed with the
+// reconfigurable design.
+func ExpFig16c(o ExpOptions) []*metrics.Table {
+	t, _, _ := schemeSpeedups(o, "Figure 16c — DUCATI composition (speedup vs baseline)",
+		[]Scheme{DucatiOnly(), Combined(), CombinedDucati()}, nil)
+	t.AddNote("paper: DUCATI alone +4.9%%; IC+LDS +30.1%%; IC+LDS+DUCATI +40.7%%")
+	return []*metrics.Table{t}
+}
+
+// ExpLDSSegmentSize reproduces §6.3.1: 32-byte vs 64-byte LDS segments
+// (3-way vs 6-way translation associativity at constant capacity).
+func ExpLDSSegmentSize(o ExpOptions) []*metrics.Table {
+	t := metrics.NewTable("§6.3.1 — LDS segment size (IC+LDS speedup vs baseline)",
+		"app", "32B-seg", "64B-seg")
+	var v32, v64 []float64
+	for _, w := range o.workloads() {
+		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		c32 := DefaultConfig(Combined())
+		r32 := runShared(c32, w, o.scale())
+		c64 := DefaultConfig(Combined())
+		c64.LDS.SegmentBytes = 64
+		r64 := runShared(c64, w, o.scale())
+		s32, s64 := r32.Speedup(base), r64.Speedup(base)
+		t.AddRow(w.Name, metrics.F(s32), metrics.F(s64))
+		v32 = append(v32, s32)
+		v64 = append(v64, s64)
+	}
+	t.AddRow("geomean", metrics.F(metrics.Geomean(v32)), metrics.F(metrics.Geomean(v64)))
+	t.AddNote("paper: no improvement from 64B segments — the misses are capacity misses, not conflict misses")
+	return []*metrics.Table{t}
+}
+
+// ExperimentIDs returns all experiment IDs, sorted.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

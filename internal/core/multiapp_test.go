@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"gpureach/internal/workloads"
+)
+
+func TestRunMultiAppPartitionsAndCompletes(t *testing.T) {
+	mvt, _ := workloads.ByName("MVT")
+	srad, _ := workloads.ByName("SRAD")
+	per, all := RunMultiApp(DefaultConfig(Baseline()), []workloads.Workload{mvt, srad}, smokeScale)
+	if len(per) != 2 {
+		t.Fatalf("got %d per-app results", len(per))
+	}
+	for _, p := range per {
+		if p.FinishedAt == 0 {
+			t.Errorf("%s never finished", p.App)
+		}
+		if p.KernelsRun == 0 {
+			t.Errorf("%s ran no kernels", p.App)
+		}
+	}
+	if all.Cycles < per[0].FinishedAt || all.Cycles < per[1].FinishedAt {
+		t.Error("system end time earlier than a tenant's finish")
+	}
+	if all.KernelsRun != per[0].KernelsRun+per[1].KernelsRun {
+		t.Errorf("kernel accounting: %d vs %d+%d", all.KernelsRun, per[0].KernelsRun, per[1].KernelsRun)
+	}
+}
+
+func TestRunMultiAppSchemeHelpsWithoutHarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-app comparison skipped in -short")
+	}
+	mvt, _ := workloads.ByName("MVT")
+	srad, _ := workloads.ByName("SRAD")
+	pair := []workloads.Workload{mvt, srad}
+	basePer, _ := RunMultiApp(DefaultConfig(Baseline()), pair, 0.25)
+	combPer, _ := RunMultiApp(DefaultConfig(Combined()), pair, 0.25)
+	mvtSpeed := float64(basePer[0].FinishedAt) / float64(combPer[0].FinishedAt)
+	sradSpeed := float64(basePer[1].FinishedAt) / float64(combPer[1].FinishedAt)
+	if mvtSpeed < 1.0 {
+		t.Errorf("IC+LDS slowed the translation-bound tenant: %.3f", mvtSpeed)
+	}
+	if sradSpeed < 0.95 {
+		t.Errorf("IC+LDS harmed the TLB-insensitive tenant: %.3f", sradSpeed)
+	}
+}
+
+func TestRunMultiAppValidation(t *testing.T) {
+	w, _ := workloads.ByName("SRAD")
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"no apps", func() { RunMultiApp(DefaultConfig(Baseline()), nil, 1) }},
+		{"too many apps", func() {
+			RunMultiApp(DefaultConfig(Baseline()),
+				[]workloads.Workload{w, w, w, w, w}, 1)
+		}},
+		{"non-dividing partition", func() {
+			RunMultiApp(DefaultConfig(Baseline()), []workloads.Workload{w, w, w}, 1)
+		}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		}()
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"gpureach/internal/workloads"
+)
+
+// smokeScale keeps unit-test runs to a fraction of a second per app.
+const smokeScale = 0.1
+
+func TestSmokeAllAppsBaseline(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r := Run(DefaultConfig(Baseline()), w, smokeScale)
+			if r.Cycles == 0 {
+				t.Fatal("no cycles simulated")
+			}
+			if r.ThreadInstrs == 0 {
+				t.Fatal("no instructions executed")
+			}
+			t.Logf("%v", r)
+		})
+	}
+}
+
+func TestSmokeCombinedScheme(t *testing.T) {
+	w, _ := workloads.ByName("ATAX")
+	base := Run(DefaultConfig(Baseline()), w, smokeScale)
+	comb := Run(DefaultConfig(Combined()), w, smokeScale)
+	t.Logf("baseline: %v", base)
+	t.Logf("combined: %v", comb)
+	t.Logf("speedup: %.3f", comb.Speedup(base))
+	if comb.LDSTxHits+comb.ICTxHits == 0 {
+		t.Error("combined scheme produced no victim hits on ATAX")
+	}
+}

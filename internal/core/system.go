@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"gpureach/internal/cache"
+	"gpureach/internal/dram"
+	"gpureach/internal/ducati"
+	"gpureach/internal/gpu"
+	"gpureach/internal/icache"
+	"gpureach/internal/lds"
+	"gpureach/internal/sim"
+	"gpureach/internal/tlb"
+	"gpureach/internal/victim"
+	"gpureach/internal/vm"
+	"gpureach/internal/walker"
+)
+
+// System is one fully-wired simulated machine.
+type System struct {
+	Cfg    Config
+	Eng    *sim.Engine
+	Frames *vm.FrameAllocator
+	Space  *vm.AddrSpace
+
+	DRAM    *dram.DRAM
+	L2C     *cache.Cache
+	IOMMU   *walker.IOMMU
+	L2TLB   *victim.L2TLB
+	Ducati  *ducati.Store
+	ICaches []*icache.ICache
+	LDSs    []*lds.LDS
+	Paths   []*victim.Path
+	Xlats   []*gpu.Xlat
+	CUs     []*gpu.CU
+	GPU     *gpu.System
+
+	// Per-kernel samples collected at kernel boundaries and at the end
+	// of the run.
+	ICUtilSamples  []float64
+	SharedSamples  []float64
+	PeakTxResident int
+	LDSUtilBytes   int
+}
+
+// NewSystem builds the machine described by cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.ICSharers <= 0 || cfg.GPU.NumCUs%cfg.ICSharers != 0 {
+		panic(fmt.Sprintf("core: %d CUs not divisible into I-cache groups of %d", cfg.GPU.NumCUs, cfg.ICSharers))
+	}
+	eng := sim.NewEngine()
+	s := &System{Cfg: cfg, Eng: eng}
+
+	s.Frames = vm.NewFrameAllocator(cfg.PhysBytes)
+	s.Space = vm.NewAddrSpace(vm.SpaceID{VMID: 1}, s.Frames, cfg.PageSize)
+
+	s.DRAM = dram.New(eng, cfg.DRAM)
+	s.L2C = cache.New(eng, cfg.L2, s.DRAM)
+	s.IOMMU = walker.New(eng, cfg.IOMMU, s.L2C)
+	l2Entries := cfg.L2TLBEntries
+	if cfg.PerfectL2TLB && l2Entries < 1<<18 {
+		// The Perfect-L2-TLB upper bound of Figures 2/3 means every
+		// translation is resident: give the array enough capacity to
+		// hold any workload's footprint so compulsory misses are the
+		// only fabrications.
+		l2Entries = 1 << 18
+	}
+	s.L2TLB = victim.NewL2TLB(eng, l2Entries, cfg.L2TLBWays, cfg.L2TLBLatency, s.IOMMU)
+	s.L2TLB.Perfect = cfg.PerfectL2TLB
+	if cfg.Scheme.Ducati {
+		// Carve the DUCATI region from the top of the data half of
+		// physical memory so it never collides with allocations.
+		base := vm.PA(cfg.PhysBytes/2 - uint64(cfg.DucatiEntries*8))
+		s.Ducati = ducati.New(s.L2C, base, cfg.DucatiEntries)
+		s.L2TLB.Ducati = s.Ducati
+	}
+
+	// One I-cache per sharer group; total capacity is constant across
+	// sharer sweeps (Figure 16a): each instance gets Size/numGroups...
+	// no — Table 1 fixes 16KB per 4-CU group; the Fig 16a sweep keeps
+	// *total* capacity constant, which the experiment encodes by
+	// adjusting cfg.ICache.SizeBytes before calling NewSystem.
+	groups := cfg.GPU.NumCUs / cfg.ICSharers
+	icCfg := cfg.ICache
+	if cfg.Scheme.UseIC {
+		icCfg.TxPerLine = cfg.Scheme.ICTxPerLine
+		icCfg.Policy = cfg.Scheme.ICPolicy
+		icCfg.FlushAtKernelBoundary = cfg.Scheme.ICFlush
+	} else {
+		// Reconfiguration off: lines never enter Tx mode, but geometry
+		// fields stay valid for instruction caching.
+		icCfg.TxPerLine = 8
+		icCfg.FlushAtKernelBoundary = false
+	}
+	icCfg.ExtraWireLatency = cfg.WireLatencyIC
+	for g := 0; g < groups; g++ {
+		s.ICaches = append(s.ICaches, icache.New(eng, icCfg))
+	}
+
+	ldsCfg := cfg.LDS
+	ldsCfg.ExtraWireLatency = cfg.WireLatencyLDS
+
+	for i := 0; i < cfg.GPU.NumCUs; i++ {
+		ldsUnit := lds.New(eng, ldsCfg)
+		s.LDSs = append(s.LDSs, ldsUnit)
+		ic := s.ICaches[i/cfg.ICSharers]
+
+		path := &victim.Path{Eng: eng, L2: s.L2TLB, PrefetchNext: cfg.Scheme.Prefetch}
+		if cfg.Scheme.UseLDS {
+			path.LDS = ldsUnit
+		}
+		if cfg.Scheme.UseIC {
+			path.IC = ic
+		}
+		s.Paths = append(s.Paths, path)
+
+		xlat := gpu.NewXlat(eng, cfg.GPU.L1TLBEntries, cfg.GPU.L1TLBLatency, path)
+		s.Xlats = append(s.Xlats, xlat)
+
+		l1d := cache.New(eng, cfg.L1D, s.L2C)
+		s.CUs = append(s.CUs, gpu.NewCU(eng, i, cfg.GPU, ldsUnit, ic, s.L2C, l1d, xlat))
+	}
+
+	s.GPU = gpu.NewSystem(eng, cfg.GPU, s.CUs, s.Space, s.Frames)
+	s.GPU.OnKernelBoundary = func(next *gpu.Kernel) { s.sample(next.Name) }
+	return s
+}
+
+// sample records the per-kernel measurements: Equation 1 I-cache
+// utilization (this call also performs the §4.3.3 flush inside the
+// I-cache when armed), cross-CU translation sharing (Fig 14a) and peak
+// resident victim entries (Fig 15).
+func (s *System) sample(nextKernel string) {
+	for _, ic := range s.ICaches {
+		s.ICUtilSamples = append(s.ICUtilSamples, ic.KernelBoundary(nextKernel))
+	}
+
+	// Cross-CU sharing over the per-CU structures (L1 TLB + LDS).
+	counts := make(map[tlb.Key]int)
+	for i := range s.CUs {
+		seen := make(map[tlb.Key]bool)
+		s.Xlats[i].L1().ForEach(func(e tlb.Entry) { seen[e.Key()] = true })
+		if s.Cfg.Scheme.UseLDS {
+			s.LDSs[i].ForEachTx(func(e tlb.Entry) { seen[e.Key()] = true })
+		}
+		for k := range seen {
+			counts[k]++
+		}
+	}
+	if len(counts) > 0 {
+		shared := 0
+		for _, c := range counts {
+			if c > 1 {
+				shared++
+			}
+		}
+		s.SharedSamples = append(s.SharedSamples, float64(shared)/float64(len(counts)))
+	}
+
+	resident := 0
+	for _, l := range s.LDSs {
+		resident += l.TxResident()
+	}
+	for _, ic := range s.ICaches {
+		resident += ic.TxResident()
+	}
+	if resident > s.PeakTxResident {
+		s.PeakTxResident = resident
+	}
+}
+
+// Run executes workload kernels (already built against s.Space) and
+// returns the results.
+func (s *System) Run(app string, kernels []*gpu.Kernel) Results {
+	cycles := s.GPU.RunKernels(kernels)
+	s.sample("") // end-of-run sample (single-kernel apps get at least one)
+	return s.collect(app, cycles)
+}

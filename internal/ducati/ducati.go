@@ -1,0 +1,117 @@
+// Package ducati implements the DUCATI comparator (Jaleel, Ebrahimi,
+// Duncan — TACO 2019) the paper evaluates against in §6.3.4: address
+// translations cached in a large carved-out region of GPU device
+// memory, accessed through the last-level (L2) data cache, looked up
+// after an L2-TLB miss and before a page walk.
+//
+// The defining property the paper highlights is that DUCATI *contends*
+// for LLC capacity and memory bandwidth instead of opportunistically
+// using idle SRAM: every lookup and fill here is a real access through
+// the data-cache hierarchy handed to New, so translation traffic evicts
+// data lines and occupies DRAM exactly as the original proposal would.
+package ducati
+
+import (
+	"gpureach/internal/cache"
+	"gpureach/internal/tlb"
+	"gpureach/internal/vm"
+)
+
+// Stats reports DUCATI activity.
+type Stats struct {
+	Lookups    uint64
+	Hits       uint64
+	Fills      uint64
+	Conflicts  uint64 // direct-mapped slot overwrites
+	Shootdowns uint64
+}
+
+// HitRate returns hits/lookups, or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type slot struct {
+	key   tlb.Key
+	entry tlb.Entry
+	valid bool
+}
+
+// Store is the in-memory translation store. It is direct-mapped over a
+// carved physical region (the part-of-memory TLB organization of
+// POM-TLB / DUCATI): slot i lives at base + 8i, so a lookup is one
+// 8-byte load through the LLC and a fill one store.
+type Store struct {
+	mem   cache.Memory
+	base  vm.PA
+	slots []slot
+	stats Stats
+}
+
+// New creates a store of `entries` slots at physical address base,
+// accessed through mem (normally the shared L2 data cache).
+func New(mem cache.Memory, base vm.PA, entries int) *Store {
+	if entries <= 0 {
+		panic("ducati: need at least one slot")
+	}
+	return &Store{mem: mem, base: base, slots: make([]slot, entries)}
+}
+
+// Capacity returns the number of slots.
+func (s *Store) Capacity() int { return len(s.slots) }
+
+// Stats returns a copy of the counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+func (s *Store) index(key tlb.Key) int {
+	// Multiplicative hash spreads VPNs that share low bits.
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h % uint64(len(s.slots)))
+}
+
+func (s *Store) slotAddr(i int) vm.PA { return s.base + vm.PA(i*8) }
+
+// Lookup probes the store for key. The probe costs one memory access
+// through the LLC; done receives the entry and whether it was present.
+func (s *Store) Lookup(key tlb.Key, done func(tlb.Entry, bool)) {
+	s.stats.Lookups++
+	i := s.index(key)
+	s.mem.Access(s.slotAddr(i), false, func() {
+		sl := s.slots[i]
+		if sl.valid && sl.key == key {
+			s.stats.Hits++
+			done(sl.entry, true)
+			return
+		}
+		done(tlb.Entry{}, false)
+	})
+}
+
+// Fill stores e, overwriting whatever occupied its slot. The store is a
+// write-through memory write via the LLC (fire and forget — fills are
+// off the critical path but still consume bandwidth).
+func (s *Store) Fill(e tlb.Entry) {
+	key := e.Key()
+	i := s.index(key)
+	if s.slots[i].valid && s.slots[i].key != key {
+		s.stats.Conflicts++
+	}
+	s.slots[i] = slot{key: key, entry: e, valid: true}
+	s.stats.Fills++
+	s.mem.Access(s.slotAddr(i), true, func() {})
+}
+
+// Shootdown invalidates key if present (§7.1) and reports whether an
+// entry was removed.
+func (s *Store) Shootdown(key tlb.Key) bool {
+	i := s.index(key)
+	if s.slots[i].valid && s.slots[i].key == key {
+		s.slots[i].valid = false
+		s.stats.Shootdowns++
+		return true
+	}
+	return false
+}

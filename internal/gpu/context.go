@@ -1,0 +1,62 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gpureach/internal/sim"
+	"gpureach/internal/vm"
+)
+
+// Context is one application sharing the GPU in the §7.2
+// multi-application scenario: its own address space (distinct VM-ID),
+// its own kernel launch sequence, and the subset of CUs it may occupy.
+// Following the paper (and the security practice it cites), different
+// applications are partitioned onto disjoint CU sets, so each
+// application's translations live in its own CUs' L1 TLBs and LDS
+// victim segments, while I-caches may be shared across the partition
+// boundary.
+type Context struct {
+	Space   *vm.AddrSpace
+	Kernels []*Kernel
+	// CUIDs restricts dispatch to these CUs (nil = all CUs).
+	CUIDs []int
+
+	// FinishedAt is the cycle the context's last kernel completed.
+	FinishedAt sim.Time
+	// KernelsRun counts this context's completed launches.
+	KernelsRun int
+
+	// run state
+	idx    int
+	kernel *Kernel
+	wgNext int
+	wgDone int
+	active bool
+}
+
+// Validate panics on malformed contexts.
+func (c *Context) Validate(cfg Config) {
+	if c.Space == nil {
+		panic("gpu: context without an address space")
+	}
+	if len(c.Kernels) == 0 {
+		panic("gpu: context without kernels")
+	}
+	for _, id := range c.CUIDs {
+		if id < 0 || id >= cfg.NumCUs {
+			panic(fmt.Sprintf("gpu: context references CU %d of %d", id, cfg.NumCUs))
+		}
+	}
+}
+
+// cus resolves the context's CU set against the system.
+func (c *Context) cus(s *System) []*CU {
+	if len(c.CUIDs) == 0 {
+		return s.CUs
+	}
+	out := make([]*CU, 0, len(c.CUIDs))
+	for _, id := range c.CUIDs {
+		out = append(out, s.CUs[id])
+	}
+	return out
+}

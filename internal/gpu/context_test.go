@@ -1,0 +1,139 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpureach/internal/tlb"
+	"gpureach/internal/vm"
+)
+
+func newSpace(rig *testRig, vmid uint8) *vm.AddrSpace {
+	frames := vm.NewFrameAllocator(8 << 30)
+	return vm.NewAddrSpace(vm.SpaceID{VMID: vmid}, frames, vm.Page4K)
+}
+
+func TestTwoContextsRunConcurrently(t *testing.T) {
+	rig := newRig(t, smallConfig(), false, false)
+	spaceA := rig.space
+	spaceB := newSpace(rig, 2)
+	bufA := spaceA.Alloc("a", 1<<20)
+	bufB := spaceB.Alloc("b", 1<<20)
+
+	ctxA := &Context{Space: spaceA, CUIDs: []int{0},
+		Kernels: []*Kernel{streamKernel("appA", bufA, 2, 2, 32)}}
+	ctxB := &Context{Space: spaceB, CUIDs: []int{1},
+		Kernels: []*Kernel{streamKernel("appB", bufB, 2, 2, 32)}}
+
+	end := rig.sys.RunContexts([]*Context{ctxA, ctxB})
+	if end == 0 {
+		t.Fatal("nothing ran")
+	}
+	if ctxA.FinishedAt == 0 || ctxB.FinishedAt == 0 {
+		t.Fatal("contexts did not record finish times")
+	}
+	if ctxA.KernelsRun != 1 || ctxB.KernelsRun != 1 {
+		t.Errorf("kernels run = %d/%d", ctxA.KernelsRun, ctxB.KernelsRun)
+	}
+	// Partitioning: CU0 ran only appA's work-groups, CU1 only appB's.
+	if rig.cus[0].Stats().WGsRun != 2 || rig.cus[1].Stats().WGsRun != 2 {
+		t.Errorf("WG distribution = %d/%d, want 2/2",
+			rig.cus[0].Stats().WGsRun, rig.cus[1].Stats().WGsRun)
+	}
+}
+
+func TestContextsOverlapInTime(t *testing.T) {
+	rig := newRig(t, smallConfig(), false, false)
+	spaceB := newSpace(rig, 2)
+	bufA := rig.space.Alloc("a", 1<<20)
+	bufB := spaceB.Alloc("b", 1<<20)
+
+	// Run A alone, then A and B together: the co-run must finish well
+	// before the sum of solo runs (true concurrency, not serialization).
+	solo := newRig(t, smallConfig(), false, false)
+	soloBuf := solo.space.Alloc("a", 1<<20)
+	soloCycles := solo.sys.RunKernels([]*Kernel{streamKernel("appA", soloBuf, 4, 2, 64)})
+
+	ctxA := &Context{Space: rig.space, CUIDs: []int{0},
+		Kernels: []*Kernel{streamKernel("appA", bufA, 4, 2, 64)}}
+	ctxB := &Context{Space: spaceB, CUIDs: []int{1},
+		Kernels: []*Kernel{streamKernel("appB", bufB, 4, 2, 64)}}
+	co := rig.sys.RunContexts([]*Context{ctxA, ctxB})
+	if co > 2*soloCycles {
+		t.Errorf("co-run took %d cycles vs solo %d — contexts serialized", co, soloCycles)
+	}
+}
+
+func TestContextSpaceIsolation(t *testing.T) {
+	rig := newRig(t, smallConfig(), true, false)
+	spaceB := newSpace(rig, 2)
+	bufA := rig.space.Alloc("a", 64*4096)
+	bufB := spaceB.Alloc("b", 64*4096)
+
+	ctxA := &Context{Space: rig.space, CUIDs: []int{0},
+		Kernels: []*Kernel{streamKernel("appA", bufA, 1, 2, 64)}}
+	ctxB := &Context{Space: spaceB, CUIDs: []int{1},
+		Kernels: []*Kernel{streamKernel("appB", bufB, 1, 2, 64)}}
+	rig.sys.RunContexts([]*Context{ctxA, ctxB})
+
+	// Per-CU structures must only hold their own context's space.
+	rig.cus[0].LDS.ForEachTx(func(e tlb.Entry) {
+		if e.Space != rig.space.ID {
+			t.Errorf("CU0 LDS caches foreign space %v", e.Space)
+		}
+	})
+	rig.cus[1].LDS.ForEachTx(func(e tlb.Entry) {
+		if e.Space != spaceB.ID {
+			t.Errorf("CU1 LDS caches foreign space %v", e.Space)
+		}
+	})
+}
+
+func TestContextSequentialKernels(t *testing.T) {
+	rig := newRig(t, smallConfig(), false, false)
+	buf := rig.space.Alloc("a", 1<<20)
+	ctx := &Context{Space: rig.space, Kernels: []*Kernel{
+		streamKernel("k1", buf, 1, 1, 8),
+		streamKernel("k2", buf, 1, 1, 8),
+		streamKernel("k3", buf, 1, 1, 8),
+	}}
+	rig.sys.RunContexts([]*Context{ctx})
+	if ctx.KernelsRun != 3 {
+		t.Errorf("kernels run = %d, want 3", ctx.KernelsRun)
+	}
+	if rig.sys.KernelsRun != 3 {
+		t.Errorf("system kernels run = %d", rig.sys.KernelsRun)
+	}
+}
+
+func TestContextValidate(t *testing.T) {
+	cfg := smallConfig()
+	cases := []*Context{
+		{},
+		{Space: nil, Kernels: []*Kernel{{}}},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("context %d validated", i)
+				}
+			}()
+			c.Validate(cfg)
+		}()
+	}
+	rig := newRig(t, cfg, false, false)
+	bad := &Context{Space: rig.space, Kernels: []*Kernel{{}}, CUIDs: []int{99}}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range CU id validated")
+		}
+	}()
+	bad.Validate(cfg)
+}
+
+func TestEmptyContextList(t *testing.T) {
+	rig := newRig(t, smallConfig(), false, false)
+	if got := rig.sys.RunContexts(nil); got != 0 {
+		t.Errorf("empty context list ran %d cycles", got)
+	}
+}

@@ -1,0 +1,228 @@
+package gpu
+
+import (
+	"gpureach/internal/cache"
+	"gpureach/internal/icache"
+	"gpureach/internal/lds"
+	"gpureach/internal/sim"
+	"gpureach/internal/tlb"
+	"gpureach/internal/vm"
+)
+
+// Config sets the GPU shape (Table 1: 8 CUs, 4 SIMDs per CU, 10 waves
+// per SIMD, 64 threads per wave) and core timing.
+type Config struct {
+	NumCUs       int
+	SIMDsPerCU   int
+	WavesPerSIMD int
+	Lanes        int
+
+	ALULatency sim.Time
+	// InstrBytes is the encoded size of one instruction; IBLines is the
+	// per-wave instruction-buffer capacity in cache lines (§2.3).
+	InstrBytes int
+	IBLines    int
+	LineBytes  int
+
+	L1TLBEntries int
+	L1TLBLatency sim.Time
+
+	// KernelLaunchLatency is the host-side dispatch cost charged between
+	// kernel launches (command processing, packet decode). End-to-end
+	// runs of many-kernel applications (NW, SSSP, PRK) are dominated by
+	// it, which is why the paper's §4.3.3 I-cache flush is harmless for
+	// them: the refetch hides under the launch.
+	KernelLaunchLatency sim.Time
+}
+
+// DefaultConfig returns the Table 1 GPU shape.
+func DefaultConfig() Config {
+	return Config{
+		NumCUs:       8,
+		SIMDsPerCU:   4,
+		WavesPerSIMD: 10,
+		Lanes:        64,
+		ALULatency:   4,
+		InstrBytes:   8,
+		IBLines:      4,
+		LineBytes:    64,
+		L1TLBEntries: 32,
+		L1TLBLatency: 108,
+
+		KernelLaunchLatency: 6000,
+	}
+}
+
+// WaveSlotsPerCU returns the resident-wave capacity of one CU.
+func (c Config) WaveSlotsPerCU() int { return c.SIMDsPerCU * c.WavesPerSIMD }
+
+// CUStats counts per-CU activity.
+type CUStats struct {
+	WaveInstrs   uint64
+	ThreadInstrs uint64
+	MemInstrs    uint64
+	LDSInstrs    uint64
+	Fetches      uint64
+	IBHits       uint64
+	Prefetches   uint64
+	WGsRun       uint64
+}
+
+type simdUnit struct {
+	issue    *sim.Port
+	resident int
+}
+
+// CU is one Compute Unit.
+type CU struct {
+	ID  int
+	eng *sim.Engine
+	cfg Config
+	sys *System
+
+	LDS    *lds.LDS
+	IC     *icache.ICache
+	ICBack cache.Memory // services I-cache misses (the shared L2)
+	L1D    *cache.Cache
+	Xlat   *Xlat
+
+	simds       []*simdUnit
+	activeWaves int
+	stats       CUStats
+}
+
+// NewCU assembles a compute unit from its structures. The system
+// pointer is set when the CU is registered with a System.
+func NewCU(eng *sim.Engine, id int, cfg Config, ldsUnit *lds.LDS, ic *icache.ICache, icBack cache.Memory, l1d *cache.Cache, xlat *Xlat) *CU {
+	cu := &CU{
+		ID:     id,
+		eng:    eng,
+		cfg:    cfg,
+		LDS:    ldsUnit,
+		IC:     ic,
+		ICBack: icBack,
+		L1D:    l1d,
+		Xlat:   xlat,
+	}
+	for i := 0; i < cfg.SIMDsPerCU; i++ {
+		cu.simds = append(cu.simds, &simdUnit{issue: sim.NewPort(eng, 1)})
+	}
+	return cu
+}
+
+// Stats returns a copy of the CU counters.
+func (cu *CU) Stats() CUStats { return cu.stats }
+
+// freeSlots returns how many more waves the CU can host.
+func (cu *CU) freeSlots() int { return cu.cfg.WaveSlotsPerCU() - cu.activeWaves }
+
+// leastLoadedSIMD picks the SIMD with the fewest resident waves (the
+// static wave-to-SIMD assignment of §2.3).
+func (cu *CU) leastLoadedSIMD() *simdUnit {
+	best := cu.simds[0]
+	for _, s := range cu.simds[1:] {
+		if s.resident < best.resident {
+			best = s
+		}
+	}
+	return best
+}
+
+// fetch services one instruction-buffer fill: I-cache probe, then the
+// L2 on a miss. A miss also prefetches the next sequential line in the
+// background — the IC_prefetches events of the paper's Equation 1 —
+// which keeps straight-line code from stalling on every line boundary.
+func (cu *CU) fetch(addr vm.PA, done func()) {
+	cu.stats.Fetches++
+	hit, finish := cu.IC.Fetch(addr)
+
+	// Stream the next sequential line in the background whether this
+	// fetch hit or missed, so straight-line code stays ahead of the
+	// wavefronts.
+	next := addr + vm.PA(cu.cfg.LineBytes)
+	if !cu.IC.HasInstr(next) {
+		cu.stats.Prefetches++
+		cu.eng.At(finish, func() {
+			cu.ICBack.Access(next, false, func() {
+				cu.IC.FillInstr(next)
+			})
+		})
+	}
+
+	if hit {
+		cu.eng.At(finish, done)
+		return
+	}
+	cu.eng.At(finish, func() {
+		cu.ICBack.Access(addr, false, func() {
+			cu.IC.FillInstr(addr)
+			done()
+		})
+	})
+}
+
+// memAccess issues one wave memory instruction: lane addresses are
+// coalesced into unique pages (one translation each) and unique cache
+// lines (one data access each); done fires when every line completes —
+// SIMT lockstep (§3.1: "a single wavefront might have to wait for many
+// page table walks to resolve").
+func (cu *CU) memAccess(space *vm.AddrSpace, addrs []vm.VA, write bool, done func()) {
+	if len(addrs) == 0 {
+		done()
+		return
+	}
+	pageBits := space.PageSize().Bits()
+	lineMask := ^(uint64(cu.cfg.LineBytes) - 1)
+
+	// Group unique lines under unique pages. Lane counts are ≤64, so
+	// small slices beat maps here.
+	type pageGroup struct {
+		vpn   vm.VPN
+		lines []uint64 // page-relative line offsets
+	}
+	groups := make([]pageGroup, 0, 8)
+	for _, va := range addrs {
+		vpn := vm.VPN(uint64(va) >> pageBits)
+		off := uint64(va) & ((1 << pageBits) - 1) & lineMask
+		gi := -1
+		for i := range groups {
+			if groups[i].vpn == vpn {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			groups = append(groups, pageGroup{vpn: vpn})
+			gi = len(groups) - 1
+		}
+		dup := false
+		for _, l := range groups[gi].lines {
+			if l == off {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			groups[gi].lines = append(groups[gi].lines, off)
+		}
+	}
+
+	remaining := 0
+	for i := range groups {
+		remaining += len(groups[i].lines)
+	}
+	for i := range groups {
+		g := groups[i]
+		cu.Xlat.Translate(space, g.vpn, func(e tlb.Entry) {
+			base := vm.PA(uint64(e.PFN) << pageBits)
+			for _, off := range g.lines {
+				cu.L1D.Access(base+vm.PA(off), write, func() {
+					remaining--
+					if remaining == 0 {
+						done()
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Package gpu is the timing model of the compute-optimized GPU in
+// Figure 1: Compute Units holding four SIMD units of ten wavefronts
+// each, per-wave instruction buffers fed by fetch units shared with a
+// group's I-cache, per-CU L1 TLBs with lane coalescing, the per-CU LDS,
+// and a work-group dispatcher that honours LDS reservations. Wavefronts
+// execute in SIMT lockstep: a memory instruction blocks its wave until
+// every lane's translation and data access resolve, and latency hiding
+// emerges from the other resident waves sharing the SIMD issue port.
+package gpu
+
+import (
+	"fmt"
+
+	"gpureach/internal/vm"
+)
+
+// Kernel describes one kernel launch: its shape (work-groups × waves),
+// resource demands (LDS bytes, instruction footprint) and its dynamic
+// behaviour (instruction mix and memory access pattern). Workload
+// generators in internal/workloads produce these.
+type Kernel struct {
+	// Name identifies the kernel; the runtime uses it to decide whether
+	// two consecutive launches are "the same kernel back-to-back"
+	// (Table 2's B-2-B column), which gates the §4.3.3 I-cache flush and
+	// lets repeated launches reuse cached code.
+	Name string
+
+	NumWorkgroups int
+	WavesPerWG    int
+	// LDSBytesPerWG is the scratchpad reservation per work-group
+	// (Figure 4a's measurement).
+	LDSBytesPerWG int
+
+	// CodeBytes is the kernel's static instruction footprint; waves
+	// execute it cyclically, generating I-cache traffic (Figure 5).
+	CodeBytes int
+
+	// InstrPerWave is the dynamic wave-instruction count.
+	InstrPerWave int
+	// MemEvery makes every MemEvery-th instruction a global memory
+	// access (0 = never). LDSEvery likewise for LDS accesses; when both
+	// match, memory wins.
+	MemEvery int
+	LDSEvery int
+	// WriteEvery makes every WriteEvery-th *memory* instruction a store.
+	WriteEvery int
+
+	// Mem fills lanes with the virtual addresses touched by the k-th
+	// memory instruction of the given wave of the given work-group and
+	// returns the filled prefix. Lanes that return the same page
+	// coalesce in the L1 TLB; lanes in the same 64B line coalesce in
+	// the data cache.
+	Mem func(wg, wave, k int, lanes []vm.VA) []vm.VA
+
+	// codeBase is assigned by the system at first launch of this name.
+	codeBase vm.PA
+}
+
+// Validate panics if the kernel is malformed — generator bugs should
+// fail loudly before they corrupt an experiment.
+func (k *Kernel) Validate() {
+	switch {
+	case k.Name == "":
+		panic("gpu: kernel without a name")
+	case k.NumWorkgroups <= 0 || k.WavesPerWG <= 0:
+		panic(fmt.Sprintf("gpu: kernel %q has empty shape", k.Name))
+	case k.InstrPerWave <= 0:
+		panic(fmt.Sprintf("gpu: kernel %q executes no instructions", k.Name))
+	case k.CodeBytes <= 0:
+		panic(fmt.Sprintf("gpu: kernel %q has no code", k.Name))
+	case k.MemEvery > 0 && k.Mem == nil:
+		panic(fmt.Sprintf("gpu: kernel %q issues memory accesses without a pattern", k.Name))
+	}
+}
+
+// memInstrCount returns how many of the wave's instructions are memory
+// instructions.
+func (k *Kernel) memInstrCount() int {
+	if k.MemEvery <= 0 {
+		return 0
+	}
+	return k.InstrPerWave / k.MemEvery
+}

@@ -1,0 +1,245 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gpureach/internal/sim"
+	"gpureach/internal/vm"
+)
+
+// System owns the CUs and runs kernels to completion: the front-end
+// work-group scheduler dispatches work-groups onto CUs with enough free
+// wave slots and a successful contiguous LDS reservation (§2.2).
+// Kernels of one application launch sequentially, as the paper's
+// end-to-end runs do; multiple applications (§7.2) run as concurrent
+// Contexts on disjoint CU partitions.
+type System struct {
+	Eng    *sim.Engine
+	Cfg    Config
+	CUs    []*CU
+	Space  *vm.AddrSpace
+	frames *vm.FrameAllocator
+
+	// OnKernelBoundary runs before each kernel launch; the core wires
+	// the §4.3.3 I-cache flush and Figure 11 utilization sampling here.
+	OnKernelBoundary func(next *Kernel)
+
+	// LDSRequestBytes samples the per-work-group LDS reservation at
+	// each dispatch (Figure 4a).
+	LDSRequestBytes *sim.Gaps
+
+	codeBases map[string]vm.PA
+
+	contexts []*Context
+	// wgCtx maps a live work-group token to its context; wgWaveLeft
+	// tracks its unfinished waves.
+	wgCtx      map[int]*Context
+	wgWaveLeft map[int]int
+	wgSeq      int
+
+	// KernelsRun counts completed kernel launches across all contexts.
+	KernelsRun int
+}
+
+// NewSystem wires CUs into a system. The CUs gain their back-pointer.
+func NewSystem(eng *sim.Engine, cfg Config, cus []*CU, space *vm.AddrSpace, frames *vm.FrameAllocator) *System {
+	if len(cus) != cfg.NumCUs {
+		panic(fmt.Sprintf("gpu: %d CUs for a %d-CU config", len(cus), cfg.NumCUs))
+	}
+	s := &System{
+		Eng:             eng,
+		Cfg:             cfg,
+		CUs:             cus,
+		Space:           space,
+		frames:          frames,
+		LDSRequestBytes: sim.NewGaps(),
+		codeBases:       make(map[string]vm.PA),
+		wgCtx:           make(map[int]*Context),
+		wgWaveLeft:      make(map[int]int),
+	}
+	for _, cu := range cus {
+		cu.sys = s
+	}
+	return s
+}
+
+// codeBase returns (allocating on first launch) the physical address of
+// a kernel's code. Re-launches of the same kernel name reuse the same
+// code, so back-to-back launches keep hitting in the I-cache — the NW
+// behaviour Table 2 calls out.
+func (s *System) codeBase(k *Kernel) vm.PA {
+	if base, ok := s.codeBases[k.Name]; ok {
+		return base
+	}
+	pages := (k.CodeBytes + int(vm.Page4K) - 1) / int(vm.Page4K)
+	base := s.frames.AllocData(vm.Page4K)
+	for i := 1; i < pages; i++ {
+		s.frames.AllocData(vm.Page4K)
+	}
+	s.codeBases[k.Name] = base
+	return base
+}
+
+// RunKernels executes a single application's launch sequence on all CUs
+// and returns the total cycle count.
+func (s *System) RunKernels(kernels []*Kernel) sim.Time {
+	if len(kernels) == 0 {
+		return 0
+	}
+	s.RunContexts([]*Context{{Space: s.Space, Kernels: kernels}})
+	return s.Eng.Now()
+}
+
+// RunContexts executes several applications concurrently (§7.2), each
+// on its own CU partition, and returns the cycle at which the last one
+// finished. Per-context completion times are left in ctx.FinishedAt.
+func (s *System) RunContexts(ctxs []*Context) sim.Time {
+	if len(ctxs) == 0 {
+		return 0
+	}
+	s.contexts = ctxs
+	for _, ctx := range ctxs {
+		ctx.Validate(s.Cfg)
+		s.launchNext(ctx)
+	}
+	s.Eng.Run()
+	for _, ctx := range ctxs {
+		if ctx.active || ctx.idx != len(ctx.Kernels) {
+			panic(fmt.Sprintf("gpu: context deadlocked at kernel %d/%d (%d/%d work-groups done)",
+				ctx.idx, len(ctx.Kernels), ctx.wgDone, ctx.kernel.NumWorkgroups))
+		}
+	}
+	return s.Eng.Now()
+}
+
+// launchNext schedules the context's next kernel after the host-side
+// dispatch latency; a context with no kernels left records its finish
+// time.
+func (s *System) launchNext(ctx *Context) {
+	if ctx.idx == len(ctx.Kernels) {
+		ctx.active = false
+		ctx.FinishedAt = s.Eng.Now()
+		return
+	}
+	k := ctx.Kernels[ctx.idx]
+	ctx.idx++
+	k.Validate()
+	if k.WavesPerWG > s.Cfg.WaveSlotsPerCU() {
+		panic(fmt.Sprintf("gpu: kernel %q needs %d waves per work-group; a CU holds %d",
+			k.Name, k.WavesPerWG, s.Cfg.WaveSlotsPerCU()))
+	}
+	s.Eng.After(s.Cfg.KernelLaunchLatency, func() {
+		if s.OnKernelBoundary != nil {
+			s.OnKernelBoundary(k)
+		}
+		k.codeBase = s.codeBase(k)
+		ctx.kernel = k
+		ctx.wgNext = 0
+		ctx.wgDone = 0
+		ctx.active = true
+		s.dispatch()
+	})
+}
+
+// dispatch assigns pending work-groups of every active context to its
+// CUs. A work-group needs WavesPerWG free slots and a contiguous LDS
+// block; if the block cannot be reserved on any eligible CU, the
+// work-group waits — the fragmentation under-utilization §2.2
+// describes.
+func (s *System) dispatch() {
+	for _, ctx := range s.contexts {
+		if !ctx.active {
+			continue
+		}
+		s.dispatchContext(ctx)
+	}
+}
+
+func (s *System) dispatchContext(ctx *Context) {
+	k := ctx.kernel
+	cus := ctx.cus(s)
+	for ctx.wgNext < k.NumWorkgroups {
+		// Candidates ordered most-free-slots first; the first whose LDS
+		// can host the reservation wins.
+		var target *CU
+		wg := s.wgSeq
+		for _, cu := range cus {
+			if cu.freeSlots() < k.WavesPerWG {
+				continue
+			}
+			if target != nil && cu.freeSlots() <= target.freeSlots() {
+				continue
+			}
+			if cu.LDS.AllocWorkgroup(wg, k.LDSBytesPerWG) {
+				if target != nil {
+					target.LDS.FreeWorkgroup(wg)
+				}
+				target = cu
+			}
+		}
+		if target == nil {
+			return
+		}
+		local := ctx.wgNext
+		s.wgSeq++
+		ctx.wgNext++
+		s.LDSRequestBytes.Record(uint64(k.LDSBytesPerWG))
+		target.stats.WGsRun++
+		s.wgCtx[wg] = ctx
+		s.wgWaveLeft[wg] = k.WavesPerWG
+		for i := 0; i < k.WavesPerWG; i++ {
+			simd := target.leastLoadedSIMD()
+			simd.resident++
+			target.activeWaves++
+			w := newWave(target, simd, k, ctx.Space, local, wg, i)
+			// Stagger wave starts the way real dispatch pipelines do
+			// (work-group launch packets drain one at a time): without
+			// this, deterministic uniform latencies lock every wave
+			// into the same phase and the data caches see worst-case
+			// synchronized thrash.
+			stagger := sim.Time((local*797 + i*211) % 4093)
+			s.Eng.After(stagger, w.step)
+		}
+	}
+}
+
+// waveDone retires a wave; the last wave of a work-group releases its
+// LDS reservation back to the scheduler (making it Free — and therefore
+// available for translations again).
+func (s *System) waveDone(w *wave) {
+	w.simd.resident--
+	w.cu.activeWaves--
+	s.wgWaveLeft[w.wgToken]--
+	if s.wgWaveLeft[w.wgToken] > 0 {
+		s.dispatch()
+		return
+	}
+	ctx := s.wgCtx[w.wgToken]
+	delete(s.wgWaveLeft, w.wgToken)
+	delete(s.wgCtx, w.wgToken)
+	w.cu.LDS.FreeWorkgroup(w.wgToken)
+	ctx.wgDone++
+	if ctx.wgDone == ctx.kernel.NumWorkgroups {
+		s.KernelsRun++
+		ctx.KernelsRun++
+		s.launchNext(ctx)
+	}
+	s.dispatch()
+}
+
+// TotalStats aggregates the per-CU counters.
+func (s *System) TotalStats() CUStats {
+	var t CUStats
+	for _, cu := range s.CUs {
+		st := cu.Stats()
+		t.WaveInstrs += st.WaveInstrs
+		t.ThreadInstrs += st.ThreadInstrs
+		t.MemInstrs += st.MemInstrs
+		t.LDSInstrs += st.LDSInstrs
+		t.Fetches += st.Fetches
+		t.IBHits += st.IBHits
+		t.Prefetches += st.Prefetches
+		t.WGsRun += st.WGsRun
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package gpu
+
+import (
+	"gpureach/internal/sim"
+	"gpureach/internal/vm"
+)
+
+// wave is one resident wavefront: a program counter into the kernel's
+// cyclic code footprint, a small FIFO instruction buffer of cache-line
+// tags, and SIMT-lockstep execution of the kernel's instruction mix.
+type wave struct {
+	cu      *CU
+	simd    *simdUnit
+	k       *Kernel
+	space   *vm.AddrSpace
+	wg      int // kernel-local work-group index (what Mem patterns see)
+	wgToken int // globally unique work-group id (LDS bookkeeping)
+	id      int // wave index within the work-group
+
+	i    int // next instruction index
+	memK int // memory instructions issued so far
+
+	ib      []uint64 // FIFO of resident code-line tags
+	scratch []vm.VA  // lane address buffer, reused per instruction
+}
+
+func newWave(cu *CU, simd *simdUnit, k *Kernel, space *vm.AddrSpace, wg, wgToken, id int) *wave {
+	return &wave{
+		cu:      cu,
+		simd:    simd,
+		k:       k,
+		space:   space,
+		wg:      wg,
+		wgToken: wgToken,
+		id:      id,
+		ib:      make([]uint64, 0, cu.cfg.IBLines),
+		scratch: make([]vm.VA, cu.cfg.Lanes),
+	}
+}
+
+// pc returns the physical address of the next instruction. Waves loop
+// over the kernel's code footprint, the behaviour that determines
+// I-cache utilization (Figure 5 / Equation 1).
+func (w *wave) pc() vm.PA {
+	off := (w.i * w.cu.cfg.InstrBytes) % w.k.CodeBytes
+	return w.k.codeBase + vm.PA(off)
+}
+
+func (w *wave) ibHas(lineTag uint64) bool {
+	for _, t := range w.ib {
+		if t == lineTag {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wave) ibFill(lineTag uint64) {
+	if w.ibHas(lineTag) {
+		return
+	}
+	if len(w.ib) >= w.cu.cfg.IBLines {
+		copy(w.ib, w.ib[1:])
+		w.ib = w.ib[:len(w.ib)-1]
+	}
+	w.ib = append(w.ib, lineTag)
+}
+
+// step drives the wave's next instruction: ensure the instruction is in
+// the IB (fetching through the I-cache if not — §2.3: "a wavefront that
+// cannot service the next instruction from its local IB requests access
+// to the fetch unit"), then issue it.
+func (w *wave) step() {
+	if w.i >= w.k.InstrPerWave {
+		w.cu.sys.waveDone(w)
+		return
+	}
+	pc := w.pc()
+	lineTag := uint64(pc) / uint64(w.cu.cfg.LineBytes)
+	if w.ibHas(lineTag) {
+		w.cu.stats.IBHits++
+		w.issue()
+		return
+	}
+	w.cu.fetch(pc, func() {
+		w.ibFill(lineTag)
+		w.issue()
+	})
+}
+
+// issue arbitrates for the SIMD issue port and executes the
+// instruction. Other waves on the same SIMD interleave through the same
+// port — this is where the GPU's latency hiding comes from.
+func (w *wave) issue() {
+	grant := w.simd.issue.Acquire()
+	w.cu.eng.At(grant, w.execute)
+}
+
+func (w *wave) execute() {
+	cu := w.cu
+	cu.stats.WaveInstrs++
+	cu.stats.ThreadInstrs += uint64(cu.cfg.Lanes)
+
+	isMem := w.k.MemEvery > 0 && w.i%w.k.MemEvery == w.k.MemEvery-1
+	isLDS := !isMem && w.k.LDSEvery > 0 && w.i%w.k.LDSEvery == w.k.LDSEvery-1
+
+	switch {
+	case isMem:
+		cu.stats.MemInstrs++
+		addrs := w.k.Mem(w.wg, w.id, w.memK, w.scratch[:0])
+		write := w.k.WriteEvery > 0 && w.memK%w.k.WriteEvery == w.k.WriteEvery-1
+		w.memK++
+		cu.memAccess(w.space, addrs, write, w.advance)
+	case isLDS:
+		cu.stats.LDSInstrs++
+		finish := cu.LDS.AppAccess()
+		cu.eng.At(finish, w.advance)
+	default:
+		// A small persistent per-wave bias models scheduler arbitration
+		// unfairness. It accumulates every instruction, so co-resident
+		// waves continuously drift out of phase instead of locking into
+		// the synchronized surge/stall convoys that perfectly uniform
+		// cadences sustain.
+		bias := sim.Time(w.wgToken*7+w.id*3) % 6
+		cu.eng.After(cu.cfg.ALULatency+bias, w.advance)
+	}
+}
+
+func (w *wave) advance() {
+	w.i++
+	w.step()
+}

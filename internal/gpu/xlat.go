@@ -1,0 +1,78 @@
+package gpu
+
+import (
+	"gpureach/internal/sim"
+	"gpureach/internal/tlb"
+	"gpureach/internal/victim"
+	"gpureach/internal/vm"
+)
+
+// Xlat is one CU's address-translation front end: the private L1 TLB
+// (Table 1: 32 entries, fully associative, 108-cycle access) with a
+// per-page coalescer, sitting above the victim path (LDS → I-cache →
+// L2 TLB → IOMMU).
+type Xlat struct {
+	eng  *sim.Engine
+	l1   *tlb.TLB
+	lat  sim.Time
+	coal *tlb.Coalescer
+	path *victim.Path
+}
+
+// NewXlat builds a CU translation front end over path.
+func NewXlat(eng *sim.Engine, entries int, latency sim.Time, path *victim.Path) *Xlat {
+	return &Xlat{
+		eng:  eng,
+		l1:   tlb.New("l1tlb", entries, entries),
+		lat:  latency,
+		coal: tlb.NewCoalescer(),
+		path: path,
+	}
+}
+
+// L1 exposes the L1 TLB for statistics.
+func (x *Xlat) L1() *tlb.TLB { return x.l1 }
+
+// Path exposes the victim path for statistics.
+func (x *Xlat) Path() *victim.Path { return x.path }
+
+// Translate resolves vpn, calling done with the entry. Concurrent
+// requests for the same page (lanes of one wave, or different waves)
+// coalesce into one L1 probe. On an L1 miss the entry returned by the
+// victim path is promoted into the L1 TLB and the displaced L1 victim
+// re-enters the Figure 12 fill flow.
+//
+// The probe latency carries a few cycles of deterministic per-page
+// jitter standing in for coalescing-queue arbitration. Without it,
+// perfectly uniform latencies phase-lock every wave's 64-request burst
+// at the shared L2-TLB port and the model falls into convoy equilibria
+// that real arbiters never sustain.
+func (x *Xlat) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	key := tlb.MakeKey(space.ID, vpn)
+	if !x.coal.Join(key, done) {
+		return
+	}
+	jitter := sim.Time((uint64(key)*0x9E3779B97F4A7C15)>>59) & 15
+	x.eng.After(x.lat+jitter, func() {
+		if e, ok := x.l1.Lookup(key); ok {
+			x.coal.Complete(key, e)
+			return
+		}
+		x.path.Translate(space, vpn, func(e tlb.Entry) {
+			if victimEntry, evicted := x.l1.Insert(e); evicted {
+				x.path.FillVictim(victimEntry)
+			}
+			x.coal.Complete(key, e)
+		})
+	})
+}
+
+// Shootdown invalidates vpn in the L1 TLB and this CU's victim
+// structures (§7.1).
+func (x *Xlat) Shootdown(space vm.SpaceID, vpn vm.VPN) {
+	x.l1.Invalidate(tlb.MakeKey(space, vpn))
+	x.path.Shootdown(space, vpn)
+}
+
+// CoalInflight returns outstanding L1-TLB miss groups (diagnostics).
+func (x *Xlat) CoalInflight() int { return x.coal.Inflight() }

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); g != 2 {
+		t.Errorf("Geomean(1,4) = %v, want 2", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	// Non-positive values ignored.
+	if g := Geomean([]float64{0, -3, 2, 8}); g != 4 {
+		t.Errorf("Geomean with junk = %v, want 4", g)
+	}
+}
+
+func TestGeomeanLessThanMax(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a)+1, float64(b)+1
+		g := Geomean([]float64{x, y})
+		return g >= math.Min(x, y)-1e-9 && g <= math.Max(x, y)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "app", "speedup")
+	tb.AddRow("ATAX", "4.430")
+	tb.AddRow("SRAD", "1.000")
+	tb.AddNote("geomean %.3f", 2.1)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "app", "ATAX", "4.430", "note: geomean 2.100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header row and data row start identically wide.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	hdr, sep := lines[1], lines[2]
+	if len(sep) < len(hdr)-2 {
+		t.Errorf("separator shorter than header: %q vs %q", sep, hdr)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %s", F(1.23456))
+	}
+	if Pct(0.301) != "30.1%" {
+		t.Errorf("Pct = %s", Pct(0.301))
+	}
+	if I(42) != "42" {
+		t.Errorf("I = %s", I(42))
+	}
+}

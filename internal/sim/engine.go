@@ -1,0 +1,111 @@
+// Package sim provides the discrete-event simulation engine that every
+// timing model in gpureach runs on: an event queue ordered by cycle,
+// pipelined ports with configurable initiation intervals, and small
+// helpers for deterministic pseudo-randomness.
+//
+// The engine is deliberately single-threaded. GPU hardware is massively
+// parallel, but a deterministic, repeatable simulation is worth far more
+// for experiments than wall-clock parallelism, and the event volume for
+// the paper's scaled-down configuration (Table 1) runs in seconds.
+package sim
+
+import "container/heap"
+
+// Time is simulation time in GPU core cycles (2 GHz in the default
+// configuration, though nothing in the engine depends on the frequency).
+type Time uint64
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same cycle run first, keeping runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator clock and queue.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	events uint64
+}
+
+// NewEngine returns an engine at cycle zero with an empty queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun returns the number of events executed so far, useful for
+// reporting simulation effort.
+func (e *Engine) EventsRun() uint64 { return e.events }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past is a
+// programming error and panics: silently reordering time would corrupt
+// every latency measurement downstream.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the next event, advancing the clock to its time.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ limit. Events beyond the limit
+// stay queued; the clock is left at the last executed event (or at limit
+// if the queue drained earlier than the limit).
+func (e *Engine) RunUntil(limit Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= limit {
+		e.Step()
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,88 @@
+package sim
+
+// Port models a pipelined hardware port: one new operation may begin
+// every Interval cycles. Acquire returns the cycle at which the requested
+// operation is granted the port; the caller adds its own access latency
+// on top. Ports also record the idle-gap distribution between grants,
+// which is exactly the measurement behind the paper's Figures 4b and 5b
+// (idle cycles at each LDS / I-cache port).
+type Port struct {
+	eng *Engine
+	// Interval is the initiation interval in cycles (1 = fully pipelined,
+	// one grant per cycle).
+	Interval Time
+
+	nextFree  Time
+	lastGrant Time
+	grants    uint64
+	idle      *Gaps
+}
+
+// NewPort creates a port on engine eng with the given initiation
+// interval. An interval of 0 is treated as 1.
+func NewPort(eng *Engine, interval Time) *Port {
+	if interval == 0 {
+		interval = 1
+	}
+	return &Port{eng: eng, Interval: interval, idle: NewGaps()}
+}
+
+// Acquire reserves the next port slot at or after the current cycle and
+// returns the grant time. Consecutive acquisitions are serialized
+// Interval cycles apart.
+func (p *Port) Acquire() Time {
+	now := p.eng.Now()
+	grant := now
+	if p.nextFree > grant {
+		grant = p.nextFree
+	}
+	p.nextFree = grant + p.Interval
+	if p.grants > 0 && grant > p.lastGrant {
+		p.idle.Record(uint64(grant - p.lastGrant - p.Interval + 1))
+	}
+	p.lastGrant = grant
+	p.grants++
+	return grant
+}
+
+// AcquireAt reserves a slot at or after time t (which must not be in the
+// past) and returns the grant time. This lets a component chain port
+// acquisitions along a multi-stage path without scheduling intermediate
+// events.
+func (p *Port) AcquireAt(t Time) Time {
+	if t < p.eng.Now() {
+		t = p.eng.Now()
+	}
+	grant := t
+	if p.nextFree > grant {
+		grant = p.nextFree
+	}
+	p.nextFree = grant + p.Interval
+	if p.grants > 0 && grant > p.lastGrant {
+		p.idle.Record(uint64(grant - p.lastGrant - p.Interval + 1))
+	}
+	p.lastGrant = grant
+	p.grants++
+	return grant
+}
+
+// Grants returns the number of operations the port has served.
+func (p *Port) Grants() uint64 { return p.grants }
+
+// IdleGaps returns the recorded distribution of idle cycles between
+// consecutive grants.
+func (p *Port) IdleGaps() *Gaps { return p.idle }
+
+// Utilization returns grants*Interval / elapsed, the fraction of cycles
+// the port was busy, in [0,1]. elapsed of zero yields zero.
+func (p *Port) Utilization(elapsed Time) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	busy := float64(p.grants) * float64(p.Interval)
+	u := busy / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,152 @@
+package sim
+
+import "sort"
+
+// Gaps accumulates a distribution of non-negative integer samples (idle
+// cycles, sizes, latencies). To bound memory on long runs it keeps every
+// sample until a cap is reached, then thins systematically (keeping every
+// other retained sample and doubling the stride), which preserves the
+// shape of the distribution well enough for the box-and-whisker style
+// summaries the paper reports.
+type Gaps struct {
+	samples []uint64
+	stride  uint64
+	skip    uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	sorted  bool
+}
+
+const gapsCap = 1 << 15
+
+// NewGaps returns an empty distribution.
+func NewGaps() *Gaps { return &Gaps{stride: 1} }
+
+// Record adds one sample.
+func (g *Gaps) Record(v uint64) {
+	if g.count == 0 || v < g.min {
+		g.min = v
+	}
+	if v > g.max {
+		g.max = v
+	}
+	g.count++
+	g.sum += v
+	if g.skip > 0 {
+		g.skip--
+		return
+	}
+	g.skip = g.stride - 1
+	g.samples = append(g.samples, v)
+	g.sorted = false
+	if len(g.samples) >= gapsCap {
+		kept := g.samples[:0]
+		for i := 0; i < len(g.samples); i += 2 {
+			kept = append(kept, g.samples[i])
+		}
+		g.samples = kept
+		g.stride *= 2
+	}
+}
+
+// Count returns the number of recorded samples.
+func (g *Gaps) Count() uint64 { return g.count }
+
+// Sum returns the sum of all recorded samples.
+func (g *Gaps) Sum() uint64 { return g.sum }
+
+// Mean returns the average sample, or 0 with no samples.
+func (g *Gaps) Mean() float64 {
+	if g.count == 0 {
+		return 0
+	}
+	return float64(g.sum) / float64(g.count)
+}
+
+// Min returns the smallest sample (the paper's "S.P", smallest point).
+func (g *Gaps) Min() uint64 { return g.min }
+
+// Max returns the largest sample (the paper's "L.P", largest point).
+func (g *Gaps) Max() uint64 { return g.max }
+
+// Quantile returns the q-th quantile (q in [0,1]) of the retained
+// samples. With no samples it returns 0.
+func (g *Gaps) Quantile(q float64) uint64 {
+	if len(g.samples) == 0 {
+		return 0
+	}
+	if !g.sorted {
+		sort.Slice(g.samples, func(i, j int) bool { return g.samples[i] < g.samples[j] })
+		g.sorted = true
+	}
+	if q <= 0 {
+		return g.samples[0]
+	}
+	if q >= 1 {
+		return g.samples[len(g.samples)-1]
+	}
+	idx := int(q * float64(len(g.samples)-1))
+	return g.samples[idx]
+}
+
+// Summary is a five-number box-and-whisker summary matching the paper's
+// figure annotations: smallest point, first quartile, median, third
+// quartile, largest point.
+type Summary struct {
+	Min, Q1, Median, Q3, Max uint64
+	Mean                     float64
+	Count                    uint64
+}
+
+// Summarize returns the five-number summary of the distribution.
+func (g *Gaps) Summarize() Summary {
+	return Summary{
+		Min:    g.Min(),
+		Q1:     g.Quantile(0.25),
+		Median: g.Quantile(0.5),
+		Q3:     g.Quantile(0.75),
+		Max:    g.Max(),
+		Mean:   g.Mean(),
+		Count:  g.Count(),
+	}
+}
+
+// Rand is a small deterministic xorshift64* PRNG. Workload generators use
+// it instead of math/rand so that a given seed produces an identical
+// access trace on every run and every platform, which keeps experiment
+// results reproducible bit-for-bit.
+type Rand struct{ state uint64 }
+
+// NewRand returns a PRNG seeded with seed (0 is remapped to a fixed
+// non-zero constant since xorshift has a zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,48 @@
+package tlb
+
+// Coalescer merges concurrent translation requests to the same page, the
+// way the hardware coalesces a SIMD unit's lane accesses and in-flight
+// L1 misses (§2.1: "memory accesses targeting the same page are
+// coalesced by the hardware"). The first requester for a key triggers
+// the real lookup; later requesters for the same key ride along and are
+// all completed together.
+type Coalescer struct {
+	inflight map[Key][]func(Entry)
+	// Merged counts requests that piggybacked on an in-flight miss.
+	Merged uint64
+	// Started counts misses that went down the memory system.
+	Started uint64
+}
+
+// NewCoalescer returns an empty coalescer.
+func NewCoalescer() *Coalescer {
+	return &Coalescer{inflight: make(map[Key][]func(Entry))}
+}
+
+// Join registers done to be called when key's translation resolves.
+// It reports whether the caller is the first requester and must start
+// the actual translation; subsequent callers are merged.
+func (c *Coalescer) Join(key Key, done func(Entry)) (first bool) {
+	waiters, exists := c.inflight[key]
+	c.inflight[key] = append(waiters, done)
+	if exists {
+		c.Merged++
+		return false
+	}
+	c.Started++
+	return true
+}
+
+// Complete resolves key with entry, invoking every waiter in join order.
+// Completing a key with no waiters is a no-op (it can happen when a
+// shootdown raced the completion and cleared the waiters).
+func (c *Coalescer) Complete(key Key, entry Entry) {
+	waiters := c.inflight[key]
+	delete(c.inflight, key)
+	for _, w := range waiters {
+		w(entry)
+	}
+}
+
+// Inflight returns the number of distinct keys currently outstanding.
+func (c *Coalescer) Inflight() int { return len(c.inflight) }

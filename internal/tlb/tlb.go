@@ -1,0 +1,207 @@
+// Package tlb implements the set-associative translation lookaside
+// buffers of the baseline GPU (Table 1: per-CU 32-entry fully-
+// associative L1 TLBs, a shared 512-entry 16-way L2 TLB, and the
+// IOMMU's device TLBs) plus the per-page request coalescer that merges
+// concurrent misses to the same page (§2.1).
+package tlb
+
+import (
+	"fmt"
+
+	"gpureach/internal/vm"
+)
+
+// Entry is one cached translation. It carries the address-space tags the
+// paper stores alongside each translation (Figure 7a): VPN tag, VM-ID
+// and VRF-ID.
+type Entry struct {
+	Space vm.SpaceID
+	VPN   vm.VPN
+	PFN   vm.PFN
+}
+
+// Key returns the lookup key combining VPN and address-space tags.
+func (e Entry) Key() Key { return MakeKey(e.Space, e.VPN) }
+
+// Key identifies a translation across address spaces.
+type Key uint64
+
+// MakeKey builds a Key from space tags and a VPN.
+func MakeKey(space vm.SpaceID, vpn vm.VPN) Key {
+	return Key(uint64(vpn)<<4 | uint64(space.Pack()))
+}
+
+// VPN extracts the page number back out of a key.
+func (k Key) VPN() vm.VPN { return vm.VPN(k >> 4) }
+
+type way struct {
+	entry Entry
+	valid bool
+	stamp uint64
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Fills      uint64
+	Shootdowns uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when idle.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// TLB is a set-associative translation cache with true-LRU replacement.
+// sets == 1 gives a fully-associative structure.
+type TLB struct {
+	name  string
+	sets  []([]way)
+	ways  int
+	clock uint64
+	stats Stats
+}
+
+// New creates a TLB with the given geometry. entries must be divisible
+// by ways; ways == entries gives full associativity.
+func New(name string, entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry entries=%d ways=%d", entries, ways))
+	}
+	numSets := entries / ways
+	t := &TLB{name: name, ways: ways, sets: make([][]way, numSets)}
+	for i := range t.sets {
+		t.sets[i] = make([]way, ways)
+	}
+	return t
+}
+
+// Name returns the TLB's diagnostic name.
+func (t *TLB) Name() string { return t.name }
+
+// Entries returns total capacity.
+func (t *TLB) Entries() int { return len(t.sets) * t.ways }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+func (t *TLB) set(k Key) []way {
+	return t.sets[uint64(k.VPN())%uint64(len(t.sets))]
+}
+
+// Lookup searches for key; on a hit the entry becomes MRU.
+func (t *TLB) Lookup(key Key) (Entry, bool) {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].entry.Key() == key {
+			t.clock++
+			set[i].stamp = t.clock
+			t.stats.Hits++
+			return set[i].entry, true
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe is Lookup without touching LRU state or counters — used by
+// sharing analyses (Fig 14a) and tests.
+func (t *TLB) Probe(key Key) (Entry, bool) {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].entry.Key() == key {
+			return set[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert fills e, replacing the LRU way of its set if full. It returns
+// the evicted victim entry, if any. Inserting a key that is already
+// present refreshes the existing way instead of duplicating it.
+func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
+	key := e.Key()
+	set := t.set(key)
+	t.clock++
+	// Refresh on re-insert.
+	for i := range set {
+		if set[i].valid && set[i].entry.Key() == key {
+			set[i].entry = e
+			set[i].stamp = t.clock
+			return Entry{}, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		if !set[i].valid {
+			set[i] = way{entry: e, valid: true, stamp: t.clock}
+			t.stats.Fills++
+			return Entry{}, false
+		}
+	}
+	// Evict LRU.
+	lru := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].stamp < set[lru].stamp {
+			lru = i
+		}
+	}
+	victim = set[lru].entry
+	set[lru] = way{entry: e, valid: true, stamp: t.clock}
+	t.stats.Fills++
+	t.stats.Evictions++
+	return victim, true
+}
+
+// Invalidate removes key if present (TLB shootdown, §7.1) and reports
+// whether an entry was removed.
+func (t *TLB) Invalidate(key Key) bool {
+	set := t.set(key)
+	for i := range set {
+		if set[i].valid && set[i].entry.Key() == key {
+			set[i].valid = false
+			t.stats.Shootdowns++
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates everything.
+func (t *TLB) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// Occupied returns the number of valid entries.
+func (t *TLB) Occupied() int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every valid entry (iteration order unspecified).
+func (t *TLB) ForEach(fn func(Entry)) {
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				fn(set[i].entry)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"gpureach/internal/gpu"
+	"gpureach/internal/vm"
+	"gpureach/internal/workloads"
+)
+
+// StreamWorkload drives a workload's kernel sequence through an
+// Analyzer, interleaving waves round-robin the way concurrent execution
+// roughly would. sampleStride > 1 subsamples memory instructions to
+// bound analysis cost on large applications.
+func StreamWorkload(w workloads.Workload, scale float64, sampleStride int, a *Analyzer) {
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	frames := vm.NewFrameAllocator(16 << 30)
+	space := vm.NewAddrSpace(vm.SpaceID{}, frames, vm.Page4K)
+	kernels := w.Build(space, scale)
+	lanes := make([]vm.VA, 0, 64)
+
+	for _, k := range kernels {
+		streamKernel(k, space, sampleStride, a, lanes)
+	}
+}
+
+// streamKernel interleaves the kernel's waves instruction-by-
+// instruction — a faithful first-order model of the dispatch-everything
+// SIMT execution the timing model performs.
+func streamKernel(k *gpu.Kernel, space *vm.AddrSpace, stride int, a *Analyzer, lanes []vm.VA) {
+	if k.MemEvery <= 0 || k.Mem == nil {
+		return
+	}
+	memInstrs := k.InstrPerWave / k.MemEvery
+	type waveRef struct{ wg, wave int }
+	var wavesList []waveRef
+	for wg := 0; wg < k.NumWorkgroups; wg++ {
+		for wv := 0; wv < k.WavesPerWG; wv++ {
+			wavesList = append(wavesList, waveRef{wg, wv})
+		}
+	}
+	var pageBuf []vm.VPN
+	for m := 0; m < memInstrs; m += stride {
+		for _, wr := range wavesList {
+			lanes = k.Mem(wr.wg, wr.wave, m, lanes[:0])
+			// Coalesce lanes page-wise like the hardware does: one touch
+			// per distinct page per instruction.
+			pageBuf = pageBuf[:0]
+			for _, va := range lanes {
+				vpn := space.VPN(va)
+				dup := false
+				for _, p := range pageBuf {
+					if p == vpn {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					pageBuf = append(pageBuf, vpn)
+					a.Touch(vpn)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package trace analyzes the page-level access streams of workloads:
+// LRU stack (reuse) distances, working-set footprints, and coverage
+// curves. The coverage curve at a given capacity predicts the hit rate
+// an LRU translation structure of that capacity would achieve, which is
+// exactly the quantity behind the paper's reach arguments: the baseline
+// 512-entry L2 TLB sits far down the curve for the High applications,
+// and the ~16K victim entries of Figure 15 climb most of it — except
+// for GUPS, whose uniformly random stream has no curve to climb.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"gpureach/internal/vm"
+)
+
+// fenwick is a binary indexed tree over access positions, used to count
+// distinct pages touched since a page's previous access in O(log n).
+type fenwick struct{ tree []int }
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum over [0, i].
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Analyzer accumulates an access stream and computes reuse statistics.
+type Analyzer struct {
+	lastPos   map[vm.VPN]int
+	bit       *fenwick
+	pos       int
+	capacity  int
+	distances []int // log2-bucketed reuse-distance counts
+	cold      uint64
+	total     uint64
+}
+
+// NewAnalyzer prepares for a stream of up to maxAccesses records.
+func NewAnalyzer(maxAccesses int) *Analyzer {
+	if maxAccesses <= 0 {
+		panic("trace: non-positive stream capacity")
+	}
+	return &Analyzer{
+		lastPos:   make(map[vm.VPN]int),
+		bit:       newFenwick(maxAccesses),
+		capacity:  maxAccesses,
+		distances: make([]int, 40),
+	}
+}
+
+// Touch records one page access. Accesses beyond the analyzer's
+// capacity are ignored (counted in Truncated).
+func (a *Analyzer) Touch(vpn vm.VPN) {
+	if a.pos >= a.capacity {
+		a.total++
+		return
+	}
+	a.total++
+	if last, seen := a.lastPos[vpn]; seen {
+		// Distinct pages touched strictly after `last`: suffix count.
+		dist := a.bit.prefix(a.pos-1) - a.bit.prefix(last)
+		b := bucket(dist)
+		a.distances[b]++
+		a.bit.add(last, -1)
+	} else {
+		a.cold++
+	}
+	a.lastPos[vpn] = a.pos
+	a.bit.add(a.pos, 1)
+	a.pos++
+}
+
+// bucket returns the log2 bucket of a distance (0 → bucket 0).
+func bucket(d int) int {
+	b := 0
+	for d > 0 {
+		b++
+		d >>= 1
+	}
+	if b >= 40 {
+		b = 39
+	}
+	return b
+}
+
+// Footprint returns the number of distinct pages seen.
+func (a *Analyzer) Footprint() int { return len(a.lastPos) }
+
+// Accesses returns the total accesses recorded (including any beyond
+// capacity).
+func (a *Analyzer) Accesses() uint64 { return a.total }
+
+// ColdFraction returns the fraction of recorded accesses that were
+// first touches.
+func (a *Analyzer) ColdFraction() float64 {
+	if a.pos == 0 {
+		return 0
+	}
+	return float64(a.cold) / float64(a.pos)
+}
+
+// CoverageAt returns the fraction of non-cold accesses whose LRU reuse
+// distance is at most `entries` — the hit rate a fully-associative LRU
+// structure of that many entries would achieve on this stream.
+func (a *Analyzer) CoverageAt(entries int) float64 {
+	reuses := uint64(a.pos) - a.cold
+	if reuses == 0 {
+		return 0
+	}
+	limit := bucket(entries)
+	var covered uint64
+	for b := 0; b < limit; b++ {
+		covered += uint64(a.distances[b])
+	}
+	// Within the boundary bucket, apportion linearly.
+	if limit < len(a.distances) {
+		lo := 1 << (limit - 1)
+		hi := 1 << limit
+		if limit == 0 {
+			lo, hi = 0, 1
+		}
+		if entries > lo && hi > lo {
+			covered += uint64(float64(a.distances[limit]) * float64(entries-lo) / float64(hi-lo))
+		}
+	}
+	return float64(covered) / float64(reuses)
+}
+
+// Histogram returns (bucketUpperBound, count) pairs for non-empty
+// buckets in ascending distance order.
+type HistogramBin struct {
+	UpperBound int
+	Count      int
+}
+
+// Histogram returns the reuse-distance histogram.
+func (a *Analyzer) Histogram() []HistogramBin {
+	var out []HistogramBin
+	for b, c := range a.distances {
+		if c == 0 {
+			continue
+		}
+		ub := 1 << b
+		if b == 0 {
+			ub = 0
+		} else {
+			ub = 1 << (b - 1) // bucket b holds distances (2^(b-2), 2^(b-1)]
+		}
+		out = append(out, HistogramBin{UpperBound: ub, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpperBound < out[j].UpperBound })
+	return out
+}
+
+// Report summarizes the stream against the reach of the paper's
+// structures.
+type Report struct {
+	Accesses  uint64
+	Footprint int
+	ColdFrac  float64
+	CovL1     float64 // 32-entry per-CU L1 TLB
+	CovL2     float64 // 512-entry L2 TLB
+	CovVictim float64 // +16K reconfigurable entries (Fig 15 bound)
+}
+
+// Analyze produces the standard report with the Table 1 capacities.
+func (a *Analyzer) Analyze() Report {
+	return Report{
+		Accesses:  a.Accesses(),
+		Footprint: a.Footprint(),
+		ColdFrac:  a.ColdFraction(),
+		CovL1:     a.CoverageAt(32),
+		CovL2:     a.CoverageAt(512 + 32*8),
+		CovVictim: a.CoverageAt(512 + 32*8 + 16384),
+	}
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("accesses=%d footprint=%d pages cold=%.2f%% coverage: L1=%.1f%% L2=%.1f%% +victim=%.1f%%",
+		r.Accesses, r.Footprint, 100*r.ColdFrac, 100*r.CovL1, 100*r.CovL2, 100*r.CovVictim)
+}

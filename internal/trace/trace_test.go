@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpureach/internal/vm"
+	"gpureach/internal/workloads"
+)
+
+func TestColdAndFootprint(t *testing.T) {
+	a := NewAnalyzer(100)
+	for _, v := range []vm.VPN{1, 2, 3, 1, 2, 3} {
+		a.Touch(v)
+	}
+	if a.Footprint() != 3 {
+		t.Errorf("footprint = %d", a.Footprint())
+	}
+	if a.ColdFraction() != 0.5 {
+		t.Errorf("cold fraction = %v", a.ColdFraction())
+	}
+	if a.Accesses() != 6 {
+		t.Errorf("accesses = %d", a.Accesses())
+	}
+}
+
+func TestReuseDistanceExact(t *testing.T) {
+	// Sequence 1,2,3,1: the reuse of page 1 has stack distance 2
+	// (pages 2 and 3 intervened). An LRU structure of ≥2 entries...
+	// distance 2 means 3 entries suffice, 2 do not (1 was pushed to
+	// depth 3).
+	a := NewAnalyzer(100)
+	for _, v := range []vm.VPN{1, 2, 3, 1} {
+		a.Touch(v)
+	}
+	// One reuse with distance 2 → bucketed in (1,2].
+	if cov := a.CoverageAt(4); cov != 1 {
+		t.Errorf("CoverageAt(4) = %v, want 1", cov)
+	}
+	if cov := a.CoverageAt(1); cov != 0 {
+		t.Errorf("CoverageAt(1) = %v, want 0", cov)
+	}
+}
+
+func TestImmediateReuseIsDistanceZero(t *testing.T) {
+	a := NewAnalyzer(10)
+	a.Touch(7)
+	a.Touch(7)
+	if cov := a.CoverageAt(1); cov != 1 {
+		t.Errorf("back-to-back reuse not covered by 1 entry: %v", cov)
+	}
+}
+
+func TestStreamingHasNoReuse(t *testing.T) {
+	a := NewAnalyzer(10000)
+	for i := 0; i < 5000; i++ {
+		a.Touch(vm.VPN(i))
+	}
+	if a.ColdFraction() != 1 {
+		t.Errorf("pure streaming cold fraction = %v", a.ColdFraction())
+	}
+	if cov := a.CoverageAt(1 << 20); cov != 0 {
+		t.Errorf("coverage of a no-reuse stream = %v", cov)
+	}
+}
+
+func TestCyclicReuseCoverage(t *testing.T) {
+	// Cycle over 100 pages, 50 times: every reuse has distance 99.
+	a := NewAnalyzer(100 * 50)
+	for r := 0; r < 50; r++ {
+		for p := 0; p < 100; p++ {
+			a.Touch(vm.VPN(p))
+		}
+	}
+	if cov := a.CoverageAt(256); cov < 0.99 {
+		t.Errorf("256 entries should cover a 100-page cycle: %v", cov)
+	}
+	if cov := a.CoverageAt(32); cov > 0.01 {
+		t.Errorf("32 entries should cover nothing of a 100-page LRU cycle: %v", cov)
+	}
+}
+
+func TestCapacityTruncation(t *testing.T) {
+	a := NewAnalyzer(10)
+	for i := 0; i < 25; i++ {
+		a.Touch(vm.VPN(i % 5))
+	}
+	if a.Accesses() != 25 {
+		t.Errorf("accesses = %d", a.Accesses())
+	}
+	// Only the first 10 touches were analyzed; no panic, sane stats.
+	if a.Footprint() != 5 {
+		t.Errorf("footprint = %d", a.Footprint())
+	}
+}
+
+func TestCoverageMonotoneProperty(t *testing.T) {
+	f := func(vpns []uint8) bool {
+		if len(vpns) == 0 {
+			return true
+		}
+		a := NewAnalyzer(len(vpns))
+		for _, v := range vpns {
+			a.Touch(vm.VPN(v))
+		}
+		prev := -1.0
+		for _, entries := range []int{1, 4, 16, 64, 256, 1024} {
+			c := a.CoverageAt(entries)
+			if c < prev-1e-9 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramOrdered(t *testing.T) {
+	a := NewAnalyzer(1000)
+	for r := 0; r < 3; r++ {
+		for p := 0; p < 50; p++ {
+			a.Touch(vm.VPN(p))
+		}
+	}
+	h := a.Histogram()
+	if len(h) == 0 {
+		t.Fatal("empty histogram")
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].UpperBound < h[i-1].UpperBound {
+			t.Fatal("histogram not ordered")
+		}
+	}
+}
+
+func TestStreamWorkloadsReport(t *testing.T) {
+	// The analysis must reproduce the paper's reach story: ATAX's
+	// stream is covered by the victim reach but not by the baseline;
+	// GUPS is covered by neither; SRAD needs almost nothing.
+	reports := map[string]Report{}
+	for _, name := range []string{"ATAX", "GUPS", "SRAD"} {
+		w, _ := workloads.ByName(name)
+		a := NewAnalyzer(1 << 21)
+		StreamWorkload(w, 1.0, 4, a)
+		reports[name] = a.Analyze()
+		t.Logf("%-5s %v", name, reports[name])
+	}
+	atax, gups, srad := reports["ATAX"], reports["GUPS"], reports["SRAD"]
+	if atax.CovVictim < atax.CovL2+0.2 {
+		t.Errorf("ATAX victim reach should add ≥20%% coverage: L2=%v victim=%v", atax.CovL2, atax.CovVictim)
+	}
+	// GUPS's 24K-page table exceeds the ~17K-entry reach: coverage is
+	// capped near reach/footprint, and the baseline L2 covers almost
+	// nothing.
+	if gups.CovL2 > 0.1 {
+		t.Errorf("GUPS baseline coverage should be tiny: %v", gups.CovL2)
+	}
+	if gups.CovVictim > 0.85 {
+		t.Errorf("GUPS random stream should exceed the victim reach: %v", gups.CovVictim)
+	}
+	if srad.CovL1 < 0.8 {
+		t.Errorf("SRAD should be covered by the L1 TLB alone: %v", srad.CovL1)
+	}
+}
+
+func TestAnalyzerBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewAnalyzer(0)
+}

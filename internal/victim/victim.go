@@ -1,0 +1,344 @@
+// Package victim wires the reconfigurable LDS and I-cache into the
+// translation path as a victim cache between the L1 and L2 TLBs,
+// implementing the paper's §4.4 ("Putting It All Together"):
+//
+//   - Lookup order after an L1-TLB miss: LDS first (private, 2-cycle
+//     port arbitration, lowest latency), then the I-cache, then the
+//     shared L2 TLB, then the IOMMU page-table walkers.
+//   - Fill flows on an L1-TLB eviction follow Figure 12: the victim
+//     tries the LDS; an LDS bypass or LDS victim then tries the
+//     I-cache; an I-cache bypass or victim is forwarded to the L2 TLB.
+//
+// The package also hosts the shared L2 TLB timing wrapper and the
+// optional DUCATI stage (§6.3.4) that sits between an L2-TLB miss and
+// the page walk.
+package victim
+
+import (
+	"gpureach/internal/ducati"
+	"gpureach/internal/icache"
+	"gpureach/internal/lds"
+	"gpureach/internal/sim"
+	"gpureach/internal/tlb"
+	"gpureach/internal/vm"
+	"gpureach/internal/walker"
+)
+
+// L2TLB wraps the shared second-level TLB with its port, latency,
+// per-page miss coalescing, the optional DUCATI store, and the IOMMU
+// miss path.
+type L2TLB struct {
+	Eng *sim.Engine
+	TLB *tlb.TLB
+	// Ports are the per-bank access ports (VPN-interleaved). GPU-scale
+	// translation demand arrives in 64-lane bursts; a banked L2 TLB
+	// drains them in parallel like real shared TLBs do.
+	Ports   []*sim.Port
+	Latency sim.Time
+	Coal    *tlb.Coalescer
+	IOMMU   *walker.IOMMU
+	// Ducati, when non-nil, is probed after an L2-TLB miss and filled
+	// after every page walk (§6.3.4).
+	Ducati *ducati.Store
+
+	// Perfect makes every lookup hit after the L2 latency (the
+	// Perfect-L2-TLB upper bound of Figures 2 and 3): the translation
+	// is resolved functionally and no page walk ever starts.
+	Perfect bool
+
+	// PageWalksStarted counts translations that went past every on-chip
+	// structure — the paper's headline page-walk count (Fig 2, 14b).
+	PageWalksStarted uint64
+	DucatiHits       uint64
+}
+
+// NewL2TLB builds the shared L2 stage.
+// l2TLBBanks is the number of VPN-interleaved L2 TLB banks.
+const l2TLBBanks = 8
+
+func NewL2TLB(eng *sim.Engine, entries, ways int, latency sim.Time, iommu *walker.IOMMU) *L2TLB {
+	l := &L2TLB{
+		Eng:     eng,
+		TLB:     tlb.New("l2tlb", entries, ways),
+		Latency: latency,
+		Coal:    tlb.NewCoalescer(),
+		IOMMU:   iommu,
+	}
+	for i := 0; i < l2TLBBanks; i++ {
+		l.Ports = append(l.Ports, sim.NewPort(eng, 1))
+	}
+	return l
+}
+
+// PortGrants sums grants across banks (diagnostics).
+func (l *L2TLB) PortGrants() uint64 {
+	var n uint64
+	for _, p := range l.Ports {
+		n += p.Grants()
+	}
+	return n
+}
+
+// Translate resolves vpn through the L2 TLB and, on a miss, DUCATI (if
+// configured) and the IOMMU. Concurrent requests for one page merge.
+func (l *L2TLB) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	key := tlb.MakeKey(space.ID, vpn)
+	if !l.Coal.Join(key, done) {
+		return
+	}
+	grant := l.Ports[uint64(vpn)%l2TLBBanks].Acquire()
+	l.Eng.At(grant+l.Latency, func() {
+		if e, ok := l.TLB.Lookup(key); ok {
+			l.Coal.Complete(key, e)
+			return
+		}
+		if l.Perfect {
+			pfn, ok := space.PageTable().Lookup(vpn)
+			if !ok {
+				panic("victim: perfect L2 TLB saw an unmapped page")
+			}
+			e := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
+			// "Always hits" means the entry is resident: install it so
+			// the array state matches an arbitrarily large TLB (pair
+			// this flag with a large entry count for a true upper
+			// bound — core.NewSystem does). First-touch fabrications get
+			// deterministic per-page service variance standing in for
+			// the bank conflicts a giant TLB would have; without it the
+			// perfectly uniform latency phase-locks wavefronts into
+			// convoys no real structure sustains.
+			jitter := sim.Time((uint64(vpn)*0x9E3779B97F4A7C15)>>54) & 0x3FF
+			l.Eng.After(jitter, func() {
+				l.TLB.Insert(e)
+				l.Coal.Complete(key, e)
+			})
+			return
+		}
+		if l.Ducati != nil {
+			l.Ducati.Lookup(key, func(e tlb.Entry, ok bool) {
+				if ok {
+					l.DucatiHits++
+					l.TLB.Insert(e)
+					l.Coal.Complete(key, e)
+					return
+				}
+				l.walk(space, vpn, key)
+			})
+			return
+		}
+		l.walk(space, vpn, key)
+	})
+}
+
+func (l *L2TLB) walk(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key) {
+	l.PageWalksStarted++
+	l.IOMMU.Translate(space, vpn, func(e tlb.Entry) {
+		l.TLB.Insert(e)
+		if l.Ducati != nil {
+			l.Ducati.Fill(e)
+		}
+		l.Coal.Complete(key, e)
+	})
+}
+
+// Insert places a victim translation directly into the L2 TLB (the tail
+// of the Figure 12 fill flows).
+func (l *L2TLB) Insert(e tlb.Entry) { l.TLB.Insert(e) }
+
+// Stats of the victim path of one CU.
+type Stats struct {
+	Lookups   uint64
+	LDSHits   uint64
+	ICHits    uint64
+	L2Reached uint64
+	// Fill-flow outcomes (Figure 12).
+	FilledLDS       uint64
+	FilledIC        uint64
+	ForwardedToL2   uint64
+	DroppedBaseline uint64
+	// Prefetch-organization counters (§4.1 ablation).
+	PrefetchesIssued  uint64
+	PrefetchesUseless uint64 // squashed: next page unmapped or resident
+}
+
+// Path is one CU's view of the translation system below its L1 TLB.
+// LDS is the CU's private scratchpad (nil when the LDS scheme is off);
+// IC is the I-cache shared by the CU's group (nil when off).
+type Path struct {
+	Eng *sim.Engine
+	LDS *lds.LDS
+	IC  *icache.ICache
+	L2  *L2TLB
+
+	// PrefetchNext reorganizes the reconfigurable structures as a
+	// next-page prefetch buffer instead of a victim cache — the §4.1
+	// design alternative the paper rejects ("as opposed to a prefetch
+	// buffer because the access patterns of irregular applications are
+	// hard to predict"). With it set, L1 victims are dropped as in the
+	// baseline, and every L1 miss additionally requests the translation
+	// of the next page in the background; the completed prefetch is
+	// stored in the LDS/I-cache. Prefetch walks consume real L2-TLB and
+	// IOMMU bandwidth, so mispredictions cost what they would in
+	// hardware.
+	PrefetchNext bool
+
+	stats Stats
+}
+
+// Stats returns a copy of the counters.
+func (p *Path) Stats() Stats { return p.stats }
+
+// Translate resolves an L1-TLB miss: LDS → I-cache → L2 TLB → walk.
+// Hits in the LDS or I-cache are victim-cache hits; the caller promotes
+// the returned entry into its L1 TLB (and re-enters FillVictim with the
+// L1 victim).
+func (p *Path) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	p.stats.Lookups++
+	key := tlb.MakeKey(space.ID, vpn)
+	p.lookupLDS(space, vpn, key, done)
+	if p.PrefetchNext {
+		p.prefetch(space, vpn+1)
+	}
+}
+
+// prefetch requests the translation of vpn in the background and stores
+// the result in the reconfigurable structures (prefetch-buffer
+// organization). The request rides the real L2-TLB/IOMMU path, so it
+// competes with demand traffic for walkers and bandwidth.
+func (p *Path) prefetch(space *vm.AddrSpace, vpn vm.VPN) {
+	if _, ok := space.PageTable().Lookup(vpn); !ok {
+		p.stats.PrefetchesUseless++ // would fault: squash
+		return
+	}
+	key := tlb.MakeKey(space.ID, vpn)
+	if p.LDS != nil {
+		if _, hit, _ := p.LDS.TxLookup(key); hit {
+			p.stats.PrefetchesUseless++
+			return
+		}
+	}
+	if p.IC != nil {
+		if _, hit, _ := p.IC.TxLookup(key); hit {
+			p.stats.PrefetchesUseless++
+			return
+		}
+	}
+	p.stats.PrefetchesIssued++
+	p.L2.Translate(space, vpn, func(e tlb.Entry) {
+		p.install(e)
+	})
+}
+
+// install places a prefetched entry into the structures using the same
+// LDS-then-I-cache order as the fill flow, dropping any displaced
+// translations (a prefetch buffer holds predictions, not victims).
+func (p *Path) install(e tlb.Entry) {
+	if p.LDS != nil {
+		if _, _, inserted := p.LDS.TxInsert(e); inserted {
+			p.stats.FilledLDS++
+			return
+		}
+	}
+	if p.IC != nil {
+		if _, _, inserted := p.IC.TxInsert(e); inserted {
+			p.stats.FilledIC++
+		}
+	}
+}
+
+func (p *Path) lookupLDS(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key, done func(tlb.Entry)) {
+	if p.LDS == nil {
+		p.lookupIC(space, vpn, key, done)
+		return
+	}
+	e, hit, finish := p.LDS.TxLookup(key)
+	p.Eng.At(finish, func() {
+		if hit {
+			p.stats.LDSHits++
+			done(e)
+			return
+		}
+		p.lookupIC(space, vpn, key, done)
+	})
+}
+
+func (p *Path) lookupIC(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key, done func(tlb.Entry)) {
+	if p.IC == nil {
+		p.lookupL2(space, vpn, done)
+		return
+	}
+	e, hit, finish := p.IC.TxLookup(key)
+	p.Eng.At(finish, func() {
+		if hit {
+			p.stats.ICHits++
+			done(e)
+			return
+		}
+		p.lookupL2(space, vpn, done)
+	})
+}
+
+func (p *Path) lookupL2(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	p.stats.L2Reached++
+	p.L2.Translate(space, vpn, done)
+}
+
+// FillVictim runs the Figure 12 fill flow for an entry evicted from the
+// CU's L1 TLB. In the baseline (no LDS, no I-cache) the victim is simply
+// dropped, as in a conventional TLB hierarchy.
+func (p *Path) FillVictim(e tlb.Entry) {
+	if (p.LDS == nil && p.IC == nil) || p.PrefetchNext {
+		p.stats.DroppedBaseline++
+		return
+	}
+	candidate := e
+	if p.LDS != nil {
+		victim, hasVictim, inserted := p.LDS.TxInsert(e)
+		if inserted {
+			p.stats.FilledLDS++
+			if !hasVictim {
+				return // flow ①→②→④: done
+			}
+			candidate = victim // flow ①→②→④→⑤: LDS victim moves on
+		} else if hasVictim {
+			// Compression reject after freeing a way: both the original
+			// entry and the displaced victim continue; the victim goes
+			// straight to the L2 TLB to avoid re-entering the I-cache
+			// twice.
+			p.forwardL2(victim)
+		}
+		// Not inserted (segment in LDS-mode): flow ①→②→③ — the original
+		// entry bypasses to the I-cache.
+	}
+	if p.IC != nil {
+		victim, hasVictim, inserted := p.IC.TxInsert(candidate)
+		if inserted {
+			p.stats.FilledIC++
+			if hasVictim {
+				// Flow ...→④→⑤→⑥: the I-cache victim goes to the L2 TLB.
+				p.forwardL2(victim)
+			}
+			return
+		}
+		if hasVictim {
+			p.forwardL2(victim)
+		}
+		// Bypass (IC-mode line): flow ①→②→③→⑤→⑥.
+	}
+	p.forwardL2(candidate)
+}
+
+func (p *Path) forwardL2(e tlb.Entry) {
+	p.stats.ForwardedToL2++
+	p.L2.Insert(e)
+}
+
+// Shootdown invalidates vpn in this CU's victim structures (§7.1).
+func (p *Path) Shootdown(space vm.SpaceID, vpn vm.VPN) {
+	key := tlb.MakeKey(space, vpn)
+	if p.LDS != nil {
+		p.LDS.Shootdown(key)
+	}
+	if p.IC != nil {
+		p.IC.Shootdown(key)
+	}
+}

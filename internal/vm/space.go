@@ -1,0 +1,112 @@
+package vm
+
+import "fmt"
+
+// SpaceID tags an address space the way the paper's translation tags do:
+// a 2-bit VM-ID acting as an address-space identifier plus a 2-bit
+// VRF-ID identifying the SR-IOV virtual function (§4.2.4, Figure 7a).
+type SpaceID struct {
+	VMID uint8 // 2 bits
+	VRF  uint8 // 2 bits
+}
+
+// Pack returns the 4-bit concatenation used inside stored translation
+// tags.
+func (id SpaceID) Pack() uint8 { return id.VMID&3<<2 | id.VRF&3 }
+
+func (id SpaceID) String() string { return fmt.Sprintf("vm%d.vf%d", id.VMID&3, id.VRF&3) }
+
+// Buffer is a named virtual allocation inside an address space, the unit
+// workload generators address (a matrix, a GUPS table, a CSR graph...).
+type Buffer struct {
+	Name string
+	Base VA
+	Size uint64
+}
+
+// Contains reports whether va falls inside the buffer.
+func (b Buffer) Contains(va VA) bool {
+	return va >= b.Base && uint64(va-b.Base) < b.Size
+}
+
+// At returns the virtual address offset bytes into the buffer, panicking
+// on overflow — a workload generator bug we want loudly.
+func (b Buffer) At(offset uint64) VA {
+	if offset >= b.Size {
+		panic(fmt.Sprintf("vm: offset %d outside buffer %q of %d bytes", offset, b.Name, b.Size))
+	}
+	return b.Base + VA(offset)
+}
+
+// AddrSpace is one process's GPU-visible virtual address space: an ID, a
+// page table at some granularity, and a simple monotone virtual-range
+// allocator for buffers. Pages are mapped eagerly at allocation, as the
+// paper's end-to-end runs fault in their working sets up front.
+type AddrSpace struct {
+	ID       SpaceID
+	pt       *PageTable
+	frames   *FrameAllocator
+	nextVA   VA
+	buffers  []Buffer
+	pageSize PageSize
+}
+
+// NewAddrSpace creates an address space with the given ID and page size,
+// drawing physical frames from frames. Virtual allocation starts at a
+// canonical 0x7000_0000_0000-style base to exercise high tag bits.
+func NewAddrSpace(id SpaceID, frames *FrameAllocator, ps PageSize) *AddrSpace {
+	return &AddrSpace{
+		ID:       id,
+		pt:       NewPageTable(frames, ps),
+		frames:   frames,
+		nextVA:   0x2000_0000_0000,
+		pageSize: ps,
+	}
+}
+
+// PageSize returns the space's translation granularity.
+func (as *AddrSpace) PageSize() PageSize { return as.pageSize }
+
+// PageTable exposes the backing table for walkers.
+func (as *AddrSpace) PageTable() *PageTable { return as.pt }
+
+// Alloc reserves size bytes of virtual space, page-aligned, maps every
+// page to a fresh physical frame, and returns the buffer handle.
+func (as *AddrSpace) Alloc(name string, size uint64) Buffer {
+	if size == 0 {
+		panic("vm: zero-size allocation")
+	}
+	ps := uint64(as.pageSize)
+	base := as.nextVA
+	pages := (size + ps - 1) / ps
+	for i := uint64(0); i < pages; i++ {
+		va := base + VA(i*ps)
+		pfn := PFN(uint64(as.frames.AllocData(as.pageSize)) >> as.pageSize.Bits())
+		as.pt.Map(as.pageSize.VPN(va), pfn)
+	}
+	// Leave one guard page between buffers so off-by-one generator bugs
+	// fault instead of silently aliasing the next buffer.
+	as.nextVA = base + VA((pages+1)*ps)
+	b := Buffer{Name: name, Base: base, Size: size}
+	as.buffers = append(as.buffers, b)
+	return b
+}
+
+// Buffers returns all allocations in this space.
+func (as *AddrSpace) Buffers() []Buffer { return as.buffers }
+
+// VPN returns the page number of va in this space.
+func (as *AddrSpace) VPN(va VA) VPN { return as.pageSize.VPN(va) }
+
+// Translate performs a functional translation of va.
+func (as *AddrSpace) Translate(va VA) (PA, bool) {
+	pfn, ok := as.pt.Lookup(as.pageSize.VPN(va))
+	if !ok {
+		return 0, false
+	}
+	off := uint64(va) & (uint64(as.pageSize) - 1)
+	return PA(uint64(pfn)<<as.pageSize.Bits() | off), true
+}
+
+// MappedPages returns how many pages this space currently maps.
+func (as *AddrSpace) MappedPages() uint64 { return as.pt.Mapped() }

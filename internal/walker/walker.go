@@ -1,0 +1,282 @@
+// Package walker models the IOMMU that services GPU L2-TLB misses
+// (Table 1: 32 concurrent page-table walkers, device-side L1/L2 TLBs of
+// 32/256 entries, and split PGD/PUD/PMD page-walk caches of 4/8/32
+// entries following Barr et al. [10]). Walks are not free abstractions:
+// each remaining page-table level issues a real memory reference
+// through the cache hierarchy handed to New, so walk latency reflects
+// L2-cache and DRAM contention exactly as in the paper's gem5 model.
+package walker
+
+import (
+	"fmt"
+
+	"gpureach/internal/cache"
+	"gpureach/internal/sim"
+	"gpureach/internal/tlb"
+	"gpureach/internal/vm"
+)
+
+// Config sets the IOMMU geometry and latencies.
+type Config struct {
+	NumWalkers int
+	L1Entries  int // device L1 TLB
+	L2Entries  int // device L2 TLB
+	PGDEntries int
+	PUDEntries int
+	PMDEntries int
+	// TLBLatency is charged for probing the device TLBs before a walk.
+	TLBLatency sim.Time
+}
+
+// DefaultConfig returns the Table 1 IOMMU configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumWalkers: 32,
+		L1Entries:  32,
+		L2Entries:  256,
+		PGDEntries: 4,
+		PUDEntries: 8,
+		PMDEntries: 32,
+		TLBLatency: 20,
+	}
+}
+
+// Stats reports IOMMU activity.
+type Stats struct {
+	Requests    uint64
+	DevTLBHits  uint64
+	Walks       uint64
+	WalkSteps   uint64
+	PWCHitPGD   uint64
+	PWCHitPUD   uint64
+	PWCHitPMD   uint64
+	PWCMiss     uint64
+	MaxQueue    int
+	MergedWalks uint64
+}
+
+// pwc is a tiny fully-associative page-walk cache over prefix keys.
+type pwc struct {
+	entries int
+	stamps  map[uint64]uint64
+	clock   uint64
+	hits    uint64
+}
+
+func newPWC(entries int) *pwc {
+	return &pwc{entries: entries, stamps: make(map[uint64]uint64)}
+}
+
+func (p *pwc) probe(key uint64) bool {
+	if _, ok := p.stamps[key]; ok {
+		p.clock++
+		p.stamps[key] = p.clock
+		p.hits++
+		return true
+	}
+	return false
+}
+
+func (p *pwc) fill(key uint64) {
+	p.clock++
+	if _, ok := p.stamps[key]; ok {
+		p.stamps[key] = p.clock
+		return
+	}
+	if len(p.stamps) >= p.entries {
+		var lruKey uint64
+		lru := uint64(1<<63 - 1)
+		for k, s := range p.stamps {
+			if s < lru {
+				lru = s
+				lruKey = k
+			}
+		}
+		delete(p.stamps, lruKey)
+	}
+	p.stamps[key] = p.clock
+}
+
+type pendingWalk struct {
+	space *vm.AddrSpace
+	vpn   vm.VPN
+}
+
+// IOMMU is the translation agent of last resort before memory.
+type IOMMU struct {
+	eng  *sim.Engine
+	cfg  Config
+	mem  cache.Memory
+	l1   *tlb.TLB
+	l2   *tlb.TLB
+	pgd  *pwc
+	pud  *pwc
+	pmd  *pwc
+	coal *tlb.Coalescer
+
+	freeWalkers int
+	queue       []pendingWalk
+	stats       Stats
+}
+
+// New builds an IOMMU whose walks reference memory through mem
+// (normally the shared L2 data cache, which misses to DRAM).
+func New(eng *sim.Engine, cfg Config, mem cache.Memory) *IOMMU {
+	if cfg.NumWalkers <= 0 {
+		panic("walker: need at least one walker")
+	}
+	return &IOMMU{
+		eng:         eng,
+		cfg:         cfg,
+		mem:         mem,
+		l1:          tlb.New("iommu-l1", cfg.L1Entries, cfg.L1Entries),
+		l2:          tlb.New("iommu-l2", cfg.L2Entries, min(cfg.L2Entries, 8)),
+		pgd:         newPWC(cfg.PGDEntries),
+		pud:         newPWC(cfg.PUDEntries),
+		pmd:         newPWC(cfg.PMDEntries),
+		coal:        tlb.NewCoalescer(),
+		freeWalkers: cfg.NumWalkers,
+	}
+}
+
+// Stats returns a copy of the counters, folding in PWC hits.
+func (io *IOMMU) Stats() Stats {
+	s := io.stats
+	s.PWCHitPGD = io.pgd.hits
+	s.PWCHitPUD = io.pud.hits
+	s.PWCHitPMD = io.pmd.hits
+	return s
+}
+
+// DeviceTLBStats exposes the device-side TLB counters (L1, L2).
+func (io *IOMMU) DeviceTLBStats() (tlb.Stats, tlb.Stats) {
+	return io.l1.Stats(), io.l2.Stats()
+}
+
+// Translate resolves vpn in space, calling done with the completed
+// entry. The path is: device L1/L2 TLB → page-walk caches → remaining
+// page-table levels via memory. Concurrent requests for the same page
+// are merged.
+func (io *IOMMU) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	io.stats.Requests++
+	key := tlb.MakeKey(space.ID, vpn)
+
+	first := io.coal.Join(key, done)
+	if !first {
+		io.stats.MergedWalks++
+		return
+	}
+
+	io.eng.After(io.cfg.TLBLatency, func() {
+		if e, ok := io.l1.Lookup(key); ok {
+			io.stats.DevTLBHits++
+			io.coal.Complete(key, e)
+			return
+		}
+		if e, ok := io.l2.Lookup(key); ok {
+			io.stats.DevTLBHits++
+			io.l1.Insert(e)
+			io.coal.Complete(key, e)
+			return
+		}
+		io.enqueueWalk(space, vpn)
+	})
+}
+
+func (io *IOMMU) enqueueWalk(space *vm.AddrSpace, vpn vm.VPN) {
+	if io.freeWalkers > 0 {
+		io.freeWalkers--
+		io.startWalk(space, vpn)
+		return
+	}
+	io.queue = append(io.queue, pendingWalk{space: space, vpn: vpn})
+	if len(io.queue) > io.stats.MaxQueue {
+		io.stats.MaxQueue = len(io.queue)
+	}
+}
+
+func (io *IOMMU) releaseWalker() {
+	if len(io.queue) == 0 {
+		io.freeWalkers++
+		return
+	}
+	next := io.queue[0]
+	io.queue = io.queue[1:]
+	io.startWalk(next.space, next.vpn)
+}
+
+// startWalk performs the actual multi-level walk. The deepest page-walk
+// cache hit determines how many upper levels are skipped: a PMD hit
+// leaves only the PTE access, a PUD hit two accesses, and so on.
+func (io *IOMMU) startWalk(space *vm.AddrSpace, vpn vm.VPN) {
+	io.stats.Walks++
+	pt := space.PageTable()
+	walk := pt.Walk(vpn)
+	if !walk.OK {
+		panic(fmt.Sprintf("walker: page fault for %s vpn=%#x — workloads must touch only allocated buffers", space.ID, vpn))
+	}
+	levels := len(walk.Steps)
+
+	// Deepest-first PWC probe. Prefix level L covers the first L radix
+	// indices; a hit there means the node for level L+1 is known.
+	startIdx := 0
+	switch {
+	case levels >= 4 && io.pmd.probe(pt.PrefixKey(vpn, 3)):
+		startIdx = 3
+	case levels >= 3 && io.pud.probe(pt.PrefixKey(vpn, 2)):
+		startIdx = 2
+	case io.pgd.probe(pt.PrefixKey(vpn, 1)):
+		startIdx = 1
+	default:
+		io.stats.PWCMiss++
+	}
+	// 2MB pages walk 3 levels; a "PMD" probe is meaningless there, and
+	// prefix keys encode the level so the caches never alias.
+
+	io.walkStep(space, vpn, walk, startIdx)
+}
+
+func (io *IOMMU) walkStep(space *vm.AddrSpace, vpn vm.VPN, walk vm.Walk, idx int) {
+	if idx >= len(walk.Steps) {
+		io.finishWalk(space, vpn, walk)
+		return
+	}
+	io.stats.WalkSteps++
+	io.mem.Access(walk.Steps[idx], false, func() {
+		io.walkStep(space, vpn, walk, idx+1)
+	})
+}
+
+func (io *IOMMU) finishWalk(space *vm.AddrSpace, vpn vm.VPN, walk vm.Walk) {
+	pt := space.PageTable()
+	levels := len(walk.Steps)
+	io.pgd.fill(pt.PrefixKey(vpn, 1))
+	if levels >= 3 {
+		io.pud.fill(pt.PrefixKey(vpn, 2))
+	}
+	if levels >= 4 {
+		io.pmd.fill(pt.PrefixKey(vpn, 3))
+	}
+	entry := tlb.Entry{Space: space.ID, VPN: vpn, PFN: walk.PFN}
+	io.l2.Insert(entry)
+	io.l1.Insert(entry)
+	io.coal.Complete(tlb.MakeKey(space.ID, vpn), entry)
+	io.releaseWalker()
+}
+
+// Shootdown invalidates vpn in the device TLBs (§7.1). Page-walk caches
+// hold intermediate nodes, not leaves, so they are left alone — exactly
+// like hardware, where PWC entries are invalidated only on table-node
+// frees.
+func (io *IOMMU) Shootdown(space vm.SpaceID, vpn vm.VPN) {
+	key := tlb.MakeKey(space, vpn)
+	io.l1.Invalidate(key)
+	io.l2.Invalidate(key)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"gpureach/internal/gpu"
+	"gpureach/internal/vm"
+)
+
+// gups is the HPCC RandomAccess micro-benchmark: giant-table random
+// updates. Three kernels (init, update, check — Table 2 lists 3 kernels,
+// no back-to-back): a coalesced streaming initialization, then
+// read-modify-write updates where every lane targets an independent
+// uniformly-random page, then a random-read verification. The update
+// phase's uniform randomness has near-zero reuse, which is why the paper
+// sees only a 9.1% gain for GUPS despite its High category — extra reach
+// helps, but no victim cache holds a uniformly random working set.
+func gups() Workload {
+	return Workload{
+		Name: "GUPS", Suite: "µ-bm", Category: High,
+		Build: func(space *vm.AddrSpace, scale float64) []*gpu.Kernel {
+			tableBytes := uint64(scaleDim(96<<20, scale, 1<<20))
+			table := space.Alloc("table", tableBytes)
+			elems := tableBytes / 8
+
+			const wgs = 16
+			randomKernel := func(name string, seed uint64, writeEvery, instr int) *gpu.Kernel {
+				return &gpu.Kernel{
+					Name:          name,
+					NumWorkgroups: wgs,
+					WavesPerWG:    wavesPerWG,
+					CodeBytes:     1024,
+					InstrPerWave:  instr,
+					MemEvery:      2,
+					WriteEvery:    writeEvery,
+					Mem: func(wg, wave, k int, out []vm.VA) []vm.VA {
+						// Each (thread, k) pair gets its own position in
+						// the hash stream so no two instructions ever
+						// alias.
+						base := seed + uint64(threadID(wg, wave, 0))<<24 + uint64(k)*lanes
+						for lane := 0; lane < lanes; lane++ {
+							idx := mix64(base+uint64(lane)) % elems
+							out = append(out, table.At(idx*8))
+						}
+						return out
+					},
+				}
+			}
+
+			init := &gpu.Kernel{
+				Name:          "gups_init",
+				NumWorkgroups: wgs,
+				WavesPerWG:    wavesPerWG,
+				CodeBytes:     512,
+				InstrPerWave:  128,
+				MemEvery:      2,
+				WriteEvery:    1,
+				Mem: func(wg, wave, k int, out []vm.VA) []vm.VA {
+					// Coalesced: lanes write adjacent elements; each
+					// instruction advances by one full grid stride.
+					grid := uint64(wgs * tpWG)
+					for lane := 0; lane < lanes; lane++ {
+						idx := (uint64(threadID(wg, wave, lane)) + uint64(k)*grid) % elems
+						out = append(out, table.At(idx*8))
+					}
+					return out
+				},
+			}
+			return []*gpu.Kernel{
+				init,
+				randomKernel("gups_update", 0xDEADBEEF, 2, 256),
+				randomKernel("gups_check", 0xFEEDFACE, 0, 128),
+			}
+		},
+	}
+}

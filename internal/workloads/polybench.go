@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"gpureach/internal/gpu"
+	"gpureach/internal/vm"
+)
+
+// Polybench dimensions at scale 1. Rows of 2048 with 8-byte elements
+// give a 16KB row — four 4KB pages between vertically-adjacent lanes —
+// so the row-strided kernels keep ~64 pages in flight per wave
+// instruction, and matrices of 2048×1024 (16MB) put ~4K pages in the
+// working set: far beyond the baseline's 512-entry L2 TLB but within
+// reach of the ~16K extra victim entries (Fig 15).
+const (
+	// pbRows × pbCols of 8-byte elements with a 4KB (one-page) row: the
+	// thread-per-row kernels touch one page per row, so the translation
+	// working set is the row count. 16384 rows (ATAX/BICG) exceed the
+	// combined victim reach (~16K entries, Fig 15); 8192 (MVT/GEV's per
+	// matrix) sit between the LDS-only and combined reach — the regime
+	// where stacking both structures visibly wins.
+	pbRows = 16384
+	pbCols = 512
+	// pbSweep bounds each wave's dynamic column sweep so a full
+	// application run stays within a tractable event budget.
+	pbSweep = 128
+	// pbColRows bounds the column-walk kernels' row sweep.
+	pbColRows = 512
+)
+
+// atax is Polybench ATAX: y = Aᵀ(Ax). Kernel 1 computes tmp = A·x with
+// a thread per row; kernel 2 computes y = Aᵀ·tmp with a thread per
+// column. Two kernels, never back-to-back (Table 2: High, 37.7 PTW-PKI).
+func atax() Workload {
+	return Workload{
+		Name: "ATAX", Suite: "Polybench", Category: High,
+		Build: func(space *vm.AddrSpace, scale float64) []*gpu.Kernel {
+			rows := scaleDim(pbRows, scale, tpWG)
+			cols := scaleDim(pbCols, scale, tpWG)
+			a := space.Alloc("A", uint64(rows*cols)*8)
+			space.Alloc("x", uint64(cols)*8)
+			space.Alloc("y", uint64(rows)*8)
+			space.Alloc("tmp", uint64(rows)*8)
+			return []*gpu.Kernel{
+				rowStrideKernel("atax_kernel1", a, rows, cols, min(pbSweep, cols)),
+				colStrideKernel("atax_kernel2", a, rows, cols, min(pbColRows, rows)),
+			}
+		},
+	}
+}
+
+// bicg is Polybench BICG: s = Aᵀ·r then q = A·p — the column walk comes
+// first (Table 2: High, 38.1 PTW-PKI).
+func bicg() Workload {
+	return Workload{
+		Name: "BICG", Suite: "Polybench", Category: High,
+		Build: func(space *vm.AddrSpace, scale float64) []*gpu.Kernel {
+			rows := scaleDim(pbRows, scale, tpWG)
+			cols := scaleDim(pbCols, scale, tpWG)
+			a := space.Alloc("A", uint64(rows*cols)*8)
+			space.Alloc("r", uint64(rows)*8)
+			space.Alloc("s", uint64(cols)*8)
+			space.Alloc("p", uint64(cols)*8)
+			space.Alloc("q", uint64(rows)*8)
+			return []*gpu.Kernel{
+				colStrideKernel("bicg_kernel1", a, rows, cols, min(pbColRows, rows)),
+				rowStrideKernel("bicg_kernel2", a, rows, cols, min(pbSweep, cols)),
+			}
+		},
+	}
+}
+
+// mvt is Polybench MVT: x1 += A·y1 and x2 += Aᵀ·y2 (Table 2: High,
+// 38.8 PTW-PKI).
+func mvt() Workload {
+	return Workload{
+		Name: "MVT", Suite: "Polybench", Category: High,
+		Build: func(space *vm.AddrSpace, scale float64) []*gpu.Kernel {
+			rows := scaleDim(pbRows/2, scale, tpWG)
+			cols := scaleDim(pbCols, scale, tpWG)
+			a := space.Alloc("A", uint64(rows*cols)*8)
+			space.Alloc("x1", uint64(rows)*8)
+			space.Alloc("x2", uint64(cols)*8)
+			space.Alloc("y1", uint64(cols)*8)
+			space.Alloc("y2", uint64(rows)*8)
+			return []*gpu.Kernel{
+				rowStrideKernel("mvt_kernel1", a, rows, cols, min(pbSweep, cols)),
+				colStrideKernel("mvt_kernel2", a, rows, cols, min(pbColRows, rows)),
+			}
+		},
+	}
+}
+
+// gev is Polybench GESUMMV: y = α·A·x + β·B·x in a single kernel that
+// row-sweeps two matrices at once — twice the page pressure of ATAX's
+// first kernel, matching its standing as the highest-PKI application in
+// Table 2 (90.7). One kernel, so neither the flush optimization nor
+// cross-kernel reuse applies.
+func gev() Workload {
+	return Workload{
+		Name: "GEV", Suite: "Polybench", Category: High,
+		Build: func(space *vm.AddrSpace, scale float64) []*gpu.Kernel {
+			rows := scaleDim(pbRows/2, scale, tpWG)
+			cols := scaleDim(pbCols, scale, tpWG)
+			a := space.Alloc("A", uint64(rows*cols)*8)
+			b := space.Alloc("B", uint64(rows*cols)*8)
+			space.Alloc("x", uint64(cols)*8)
+			space.Alloc("y", uint64(rows)*8)
+			sweep := min(pbSweep/2, cols)
+			return []*gpu.Kernel{{
+				Name:          "gesummv_kernel",
+				NumWorkgroups: rows / tpWG,
+				WavesPerWG:    wavesPerWG,
+				CodeBytes:     2048,
+				InstrPerWave:  2 * 2 * sweep,
+				MemEvery:      2,
+				Mem: func(wg, wave, k int, out []vm.VA) []vm.VA {
+					m := a
+					if k%2 == 1 {
+						m = b
+					}
+					col := (k / 2) % sweep
+					for lane := 0; lane < lanes; lane++ {
+						row := threadID(wg, wave, lane)
+						out = append(out, m.At(uint64(row*cols+col)*8))
+					}
+					return out
+				},
+			}}
+		},
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

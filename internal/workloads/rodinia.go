@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"gpureach/internal/gpu"
+	"gpureach/internal/vm"
+)
+
+// nw is Rodinia Needleman-Wunsch: a dynamic-programming sequence
+// alignment that processes one anti-diagonal of 16×16 tiles per kernel
+// launch — hence Table 2's 255 launches of the *same* kernel
+// ("nw_kernel1") back-to-back, the case the §4.3.3 flush optimization
+// deliberately skips. Work-groups stage their tile through the LDS
+// (2.25KB per work-group in Rodinia), and the tile walk touches a
+// moderate set of pages per kernel: Medium, 4.9 PTW-PKI.
+func nw() Workload {
+	return Workload{
+		Name: "NW", Suite: "Rodinia", Category: Medium,
+		UsesLDS: true, B2B: true,
+		Build: func(space *vm.AddrSpace, scale float64) []*gpu.Kernel {
+			dim := scaleDim(2048, scale, 256) // int32 scoring matrix
+			m := space.Alloc("score", uint64(dim*dim)*4)
+			launches := scaleCount(64, scale)
+			tilesPerSide := dim / 16
+
+			var kernels []*gpu.Kernel
+			for d := 0; d < launches; d++ {
+				// Sweep the anti-diagonals across the matrix so each
+				// launch touches fresh tiles (the DP wavefront), giving
+				// the moderate page churn behind NW's Medium rating.
+				diag := (d * 3) % tilesPerSide
+				kernels = append(kernels, &gpu.Kernel{
+					Name:          "nw_kernel1",
+					NumWorkgroups: 8,
+					WavesPerWG:    2,
+					LDSBytesPerWG: 2304,
+					CodeBytes:     2048,
+					InstrPerWave:  120,
+					MemEvery:      2,
+					LDSEvery:      3,
+					WriteEvery:    3,
+					Mem: func(wg, wave, k int, out []vm.VA) []vm.VA {
+						// Tiles along anti-diagonal `diag`: tile t is at
+						// block row t, block column diag-t. Each wave
+						// walks its own tile plus the neighbour row it
+						// reads from; lanes cover 16 rows of the tile
+						// (each row of the scoring matrix spans two 4KB
+						// pages at dim=2048).
+						t := ((wg*2+wave)*17 + diag*29) % tilesPerSide
+						br := t
+						bc := diag - t
+						if bc < 0 {
+							bc += tilesPerSide
+						}
+						for lane := 0; lane < lanes; lane++ {
+							r := br*16 + lane%16
+							c := bc*16 + (lane/16+k)%16
+							if r >= dim {
+								r %= dim
+							}
+							if c >= dim {
+								c %= dim
+							}
+							out = append(out, m.At(uint64(r*dim+c)*4))
+						}
+						return out
+					},
+				})
+			}
+			return kernels
+		},
+	}
+}
+
+// srad is Rodinia SRAD (speckle-reducing anisotropic diffusion): a
+// stencil over an image with perfectly coalesced row-major streaming —
+// adjacent lanes touch adjacent elements, so a wave instruction rarely
+// crosses a page boundary and the baseline already translates nearly
+// everything from the L1 TLB. One kernel (Table 2: Low, 0.04 PTW-PKI,
+// ~0 page walks), heavy LDS staging (4KB per work-group).
+func srad() Workload {
+	return Workload{
+		Name: "SRAD", Suite: "Rodinia", Category: Low,
+		UsesLDS: true,
+		Build: func(space *vm.AddrSpace, scale float64) []*gpu.Kernel {
+			pixels := uint64(scaleDim(4<<20, scale, 1<<20)) // float32 image
+			img := space.Alloc("image", pixels*4)
+
+			const wgs = 16
+			grid := uint64(wgs * tpWG)
+			return []*gpu.Kernel{{
+				Name:          "srad_main",
+				NumWorkgroups: wgs,
+				WavesPerWG:    wavesPerWG,
+				LDSBytesPerWG: 4096,
+				CodeBytes:     3072,
+				InstrPerWave:  1024,
+				MemEvery:      2,
+				LDSEvery:      3,
+				WriteEvery:    4,
+				Mem: func(wg, wave, k int, out []vm.VA) []vm.VA {
+					for lane := 0; lane < lanes; lane++ {
+						idx := (uint64(threadID(wg, wave, lane)) + uint64(k)*grid) % pixels
+						out = append(out, img.At(idx*4))
+					}
+					return out
+				},
+			}}
+		},
+	}
+}

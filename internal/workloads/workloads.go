@@ -1,0 +1,190 @@
+// Package workloads generates the paper's ten evaluation applications
+// (Table 2) as synthetic kernel sequences for the gpu timing model.
+//
+// The real benchmarks are OpenCL/HC binaries; what the paper's
+// experiments actually exercise is each application's *page-level
+// behaviour*: how many kernels it launches (and whether the same kernel
+// repeats back-to-back), how much LDS its work-groups reserve, how big
+// its instruction footprint is, and — above all — the pattern and reach
+// of its memory accesses. Each generator here reproduces those
+// characteristics:
+//
+//	App    Kernels  B2B  LDS    Pattern                      Category
+//	ATAX   2        no   none   row-strided then column walk  High
+//	GEV    1        n/a  none   two-matrix row stride         High
+//	MVT    2        no   none   row-strided then column walk  High
+//	BICG   2        no   none   column walk then row stride   High
+//	NW     many     yes  2.25KB anti-diagonal tiles           Medium
+//	SRAD   1        n/a  4KB    coalesced streaming           Low
+//	BFS    24       no   1KB    frontier-windowed random      Medium
+//	SSSP   many     no   none   small-footprint frontier      Low
+//	PRK    41       no   none   coalesced rank streaming      Low
+//	GUPS   3        no   none   uniform random updates        High
+//
+// Generators are pure functions of (work-group, wave, instruction
+// index), so a given seed reproduces the exact same trace on every run.
+package workloads
+
+import (
+	"fmt"
+
+	"gpureach/internal/gpu"
+	"gpureach/internal/vm"
+)
+
+// Category is the paper's PTW-PKI classification (Table 2).
+type Category string
+
+// Categories from Table 2: High ≥ 20 PTW-PKI, Medium in (1, 20), Low ≤ 1.
+const (
+	High   Category = "H"
+	Medium Category = "M"
+	Low    Category = "L"
+)
+
+// Workload describes one benchmark application.
+type Workload struct {
+	Name     string
+	Suite    string
+	Category Category
+	// UsesLDS marks applications whose work-groups reserve scratchpad
+	// (Figure 4a: ~70% of applications do not).
+	UsesLDS bool
+	// B2B marks applications that launch the same kernel back-to-back
+	// (Table 2: only NW), which disables the §4.3.3 flush benefit.
+	B2B bool
+	// Build allocates the application's buffers in space and returns its
+	// kernel launch sequence. scale (≤ 1 shrinks) multiplies footprints
+	// and dynamic instruction counts for fast runs.
+	Build func(space *vm.AddrSpace, scale float64) []*gpu.Kernel
+}
+
+// All returns the ten applications in Table 2 order.
+func All() []Workload {
+	return []Workload{
+		atax(), gev(), mvt(), bicg(),
+		nw(), srad(),
+		bfs(), sssp(), prk(),
+		gups(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Names returns all workload names in Table 2 order.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// --- shared helpers -----------------------------------------------------
+
+// threadsPerWG with the Table 1 shape (4 waves × 64 lanes).
+const (
+	lanes      = 64
+	wavesPerWG = 4
+	tpWG       = lanes * wavesPerWG
+)
+
+// scaleDim scales a dimension and rounds it up to a multiple of `align`
+// (at least one multiple).
+func scaleDim(base int, scale float64, align int) int {
+	d := int(float64(base) * scale)
+	if d < align {
+		d = align
+	}
+	return (d + align - 1) / align * align
+}
+
+// scaleCount scales an integer count with a floor of 1.
+func scaleCount(base int, scale float64) int {
+	c := int(float64(base) * scale)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// mix64 is a SplitMix64 finalizer: a stateless hash giving each (wg,
+// wave, k, lane) tuple an independent pseudo-random value, so random
+// patterns need no mutable state.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// threadID returns the flat thread index of (wg, wave, lane).
+func threadID(wg, wave, lane int) int {
+	return wg*tpWG + wave*lanes + lane
+}
+
+// rowStrideKernel builds the Polybench "thread per row" matrix kernel:
+// thread t sweeps row t of an rows×cols 8-byte-element matrix, so the
+// 64 lanes of a wave touch 64 rows — cols×8 bytes apart — every memory
+// instruction. For any matrix wider than half a page this puts tens of
+// distinct pages in flight per wave instruction, the access shape that
+// makes Polybench kernels TLB-bound (§3.1).
+//
+// memCols bounds the number of columns actually swept (the dynamic
+// instruction budget); geometry (paging behaviour) is set by cols.
+func rowStrideKernel(name string, m vm.Buffer, rows, cols, memCols int) *gpu.Kernel {
+	if rows%tpWG != 0 {
+		panic(fmt.Sprintf("workloads: %s rows %d not a multiple of %d", name, rows, tpWG))
+	}
+	return &gpu.Kernel{
+		Name:          name,
+		NumWorkgroups: rows / tpWG,
+		WavesPerWG:    wavesPerWG,
+		CodeBytes:     1536,
+		InstrPerWave:  2 * memCols,
+		MemEvery:      2,
+		Mem: func(wg, wave, k int, out []vm.VA) []vm.VA {
+			col := k % memCols
+			for lane := 0; lane < lanes; lane++ {
+				row := threadID(wg, wave, lane)
+				out = append(out, m.At(uint64(row*cols+col)*8))
+			}
+			return out
+		},
+	}
+}
+
+// colStrideKernel builds the transposed Polybench kernel: thread t
+// sweeps *column* t, so a wave's lanes coalesce into one or two pages
+// per instruction but every instruction advances a full row — the wave
+// streams through the entire matrix, cycling far more pages than any
+// TLB holds.
+func colStrideKernel(name string, m vm.Buffer, rows, cols, memRows int) *gpu.Kernel {
+	if cols%tpWG != 0 {
+		panic(fmt.Sprintf("workloads: %s cols %d not a multiple of %d", name, cols, tpWG))
+	}
+	return &gpu.Kernel{
+		Name:          name,
+		NumWorkgroups: cols / tpWG,
+		WavesPerWG:    wavesPerWG,
+		CodeBytes:     1536,
+		InstrPerWave:  2 * memRows,
+		MemEvery:      2,
+		Mem: func(wg, wave, k int, out []vm.VA) []vm.VA {
+			row := k % memRows
+			for lane := 0; lane < lanes; lane++ {
+				col := threadID(wg, wave, lane)
+				out = append(out, m.At(uint64(row*cols+col)*8))
+			}
+			return out
+		},
+	}
+}

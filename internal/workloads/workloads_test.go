@@ -1,0 +1,264 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpureach/internal/vm"
+)
+
+func buildAll(t *testing.T, scale float64) map[string][]kernelInfo {
+	t.Helper()
+	out := make(map[string][]kernelInfo)
+	for _, w := range All() {
+		frames := vm.NewFrameAllocator(16 << 30)
+		space := vm.NewAddrSpace(vm.SpaceID{}, frames, vm.Page4K)
+		kernels := w.Build(space, scale)
+		var infos []kernelInfo
+		for _, k := range kernels {
+			k.Validate()
+			infos = append(infos, kernelInfo{
+				name: k.Name, wgs: k.NumWorkgroups, waves: k.WavesPerWG,
+				lds: k.LDSBytesPerWG, instr: k.InstrPerWave,
+				memEvery: k.MemEvery,
+			})
+		}
+		out[w.Name] = infos
+	}
+	return out
+}
+
+type kernelInfo struct {
+	name            string
+	wgs, waves, lds int
+	instr, memEvery int
+}
+
+func TestAllReturnsTableTwoApps(t *testing.T) {
+	names := Names()
+	want := []string{"ATAX", "GEV", "MVT", "BICG", "NW", "SRAD", "BFS", "SSSP", "PRK", "GUPS"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d apps, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("app[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, ok := ByName("GUPS"); !ok || w.Suite != "µ-bm" {
+		t.Errorf("ByName(GUPS) = %+v, %v", w, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestAllKernelsValidate(t *testing.T) {
+	buildAll(t, 1.0)
+	buildAll(t, 0.1)
+}
+
+func TestKernelCountsMatchTable2Structure(t *testing.T) {
+	infos := buildAll(t, 1.0)
+	twoKernel := []string{"ATAX", "MVT", "BICG"}
+	for _, app := range twoKernel {
+		if len(infos[app]) != 2 {
+			t.Errorf("%s has %d kernels, want 2 (Table 2)", app, len(infos[app]))
+		}
+	}
+	for _, app := range []string{"GEV", "SRAD"} {
+		if len(infos[app]) != 1 {
+			t.Errorf("%s has %d kernels, want 1 (Table 2)", app, len(infos[app]))
+		}
+	}
+	if len(infos["GUPS"]) != 3 {
+		t.Errorf("GUPS has %d kernels, want 3 (Table 2)", len(infos["GUPS"]))
+	}
+	if len(infos["BFS"]) != 24 {
+		t.Errorf("BFS has %d kernels, want 24 (Table 2)", len(infos["BFS"]))
+	}
+	if len(infos["PRK"]) != 41 {
+		t.Errorf("PRK has %d kernels, want 41 (Table 2)", len(infos["PRK"]))
+	}
+	// NW and SSSP launch counts are scaled down; must still be "many".
+	if len(infos["NW"]) < 16 {
+		t.Errorf("NW has %d kernels, want many", len(infos["NW"]))
+	}
+	if len(infos["SSSP"]) < 100 {
+		t.Errorf("SSSP has %d kernels, want many", len(infos["SSSP"]))
+	}
+}
+
+func TestB2BStructure(t *testing.T) {
+	infos := buildAll(t, 1.0)
+	// NW: every launch is the same kernel name (Table 2 B-2-B = Yes).
+	for _, k := range infos["NW"] {
+		if k.name != "nw_kernel1" {
+			t.Fatalf("NW kernel named %q", k.name)
+		}
+	}
+	// Everything else: no two consecutive launches share a name.
+	for app, ks := range infos {
+		if app == "NW" {
+			continue
+		}
+		for i := 1; i < len(ks); i++ {
+			if ks[i].name == ks[i-1].name {
+				t.Errorf("%s launches %q back-to-back (Table 2 says No)", app, ks[i].name)
+			}
+		}
+	}
+}
+
+func TestLDSUsageMatchesFlag(t *testing.T) {
+	infos := buildAll(t, 1.0)
+	for _, w := range All() {
+		usesLDS := false
+		for _, k := range infos[w.Name] {
+			if k.lds > 0 {
+				usesLDS = true
+			}
+		}
+		if usesLDS != w.UsesLDS {
+			t.Errorf("%s: UsesLDS=%v but kernels say %v", w.Name, w.UsesLDS, usesLDS)
+		}
+	}
+}
+
+func TestCategoriesDeclared(t *testing.T) {
+	want := map[string]Category{
+		"ATAX": High, "GEV": High, "MVT": High, "BICG": High, "GUPS": High,
+		"NW": Medium, "BFS": Medium,
+		"SRAD": Low, "SSSP": Low, "PRK": Low,
+	}
+	for _, w := range All() {
+		if w.Category != want[w.Name] {
+			t.Errorf("%s category = %s, want %s", w.Name, w.Category, want[w.Name])
+		}
+	}
+}
+
+// TestPatternsStayInBounds drives every kernel's Mem pattern across its
+// full index space and lets Buffer.At panic on any out-of-range address.
+func TestPatternsStayInBounds(t *testing.T) {
+	for _, w := range All() {
+		frames := vm.NewFrameAllocator(16 << 30)
+		space := vm.NewAddrSpace(vm.SpaceID{}, frames, vm.Page4K)
+		kernels := w.Build(space, 0.25)
+		lanesBuf := make([]vm.VA, 0, 64)
+		for _, k := range kernels {
+			if k.Mem == nil {
+				continue
+			}
+			memInstrs := k.InstrPerWave / k.MemEvery
+			for wg := 0; wg < k.NumWorkgroups; wg += 1 + k.NumWorkgroups/4 {
+				for wave := 0; wave < k.WavesPerWG; wave++ {
+					for m := 0; m < memInstrs; m += 1 + memInstrs/16 {
+						lanesBuf = k.Mem(wg, wave, m, lanesBuf[:0])
+						if len(lanesBuf) == 0 {
+							t.Fatalf("%s/%s produced no addresses", w.Name, k.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPatternsDeterministic verifies Mem is a pure function.
+func TestPatternsDeterministic(t *testing.T) {
+	for _, name := range []string{"GUPS", "BFS", "ATAX"} {
+		w, _ := ByName(name)
+		frames := vm.NewFrameAllocator(16 << 30)
+		space := vm.NewAddrSpace(vm.SpaceID{}, frames, vm.Page4K)
+		kernels := w.Build(space, 0.25)
+		k := kernels[len(kernels)-1]
+		a := k.Mem(0, 1, 7, nil)
+		b := k.Mem(0, 1, 7, nil)
+		if len(a) != len(b) {
+			t.Fatalf("%s: nondeterministic lane count", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: lane %d differs across calls", name, i)
+			}
+		}
+	}
+}
+
+// TestRowStridePageSpread checks the defining property of the High
+// Polybench kernels: a wave instruction touches many distinct pages.
+func TestRowStridePageSpread(t *testing.T) {
+	w, _ := ByName("ATAX")
+	frames := vm.NewFrameAllocator(16 << 30)
+	space := vm.NewAddrSpace(vm.SpaceID{}, frames, vm.Page4K)
+	k1 := w.Build(space, 1.0)[0]
+	addrs := k1.Mem(0, 0, 0, nil)
+	pages := map[vm.VPN]bool{}
+	for _, a := range addrs {
+		pages[space.VPN(a)] = true
+	}
+	if len(pages) < 32 {
+		t.Errorf("ATAX kernel1 touches %d pages per wave instruction, want many", len(pages))
+	}
+}
+
+// TestStreamingCoalesces checks the defining property of the Low apps:
+// a wave instruction coalesces into very few pages.
+func TestStreamingCoalesces(t *testing.T) {
+	for _, name := range []string{"SRAD", "PRK"} {
+		w, _ := ByName(name)
+		frames := vm.NewFrameAllocator(16 << 30)
+		space := vm.NewAddrSpace(vm.SpaceID{}, frames, vm.Page4K)
+		k := w.Build(space, 1.0)[0]
+		addrs := k.Mem(0, 0, 0, nil)
+		pages := map[vm.VPN]bool{}
+		for _, a := range addrs {
+			pages[space.VPN(a)] = true
+		}
+		if len(pages) > 2 {
+			t.Errorf("%s touches %d pages per wave instruction, want ≤ 2 (coalesced)", name, len(pages))
+		}
+	}
+}
+
+// TestGUPSRandomSpread checks GUPS lanes target many distinct pages with
+// no systematic aliasing between consecutive instructions.
+func TestGUPSRandomSpread(t *testing.T) {
+	w, _ := ByName("GUPS")
+	frames := vm.NewFrameAllocator(16 << 30)
+	space := vm.NewAddrSpace(vm.SpaceID{}, frames, vm.Page4K)
+	update := w.Build(space, 1.0)[1]
+	seen := map[vm.VA]int{}
+	for k := 0; k < 16; k++ {
+		for _, a := range update.Mem(0, 0, k, nil) {
+			seen[a]++
+		}
+	}
+	dup := 0
+	for _, c := range seen {
+		if c > 1 {
+			dup += c - 1
+		}
+	}
+	if dup > 8 {
+		t.Errorf("GUPS random stream repeated %d addresses across 1024 draws", dup)
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if d := scaleDim(1000, 0.5, 256); d != 512 {
+		t.Errorf("scaleDim = %d, want 512", d)
+	}
+	if d := scaleDim(100, 0.001, 256); d != 256 {
+		t.Errorf("scaleDim floor = %d, want 256", d)
+	}
+	if c := scaleCount(100, 0.25); c != 25 {
+		t.Errorf("scaleCount = %d", c)
+	}
+	if c := scaleCount(3, 0.01); c != 1 {
+		t.Errorf("scaleCount floor = %d", c)
+	}
+}
