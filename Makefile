@@ -1,0 +1,22 @@
+# Verification tiers (see ROADMAP.md).
+#
+#   make tier1   build + full unit tests — the gate every change must pass
+#   make tier2   tier1 plus static analysis and a race-detector sweep
+#   make bench   regenerate the paper's figures/tables (slow; see bench_test.go)
+
+GO ?= go
+
+.DEFAULT_GOAL := tier1
+
+.PHONY: tier1 tier2 bench
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2: tier1
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

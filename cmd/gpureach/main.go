@@ -7,6 +7,7 @@
 //	gpureach -app ATAX -scheme ic+lds       # the paper's full design
 //	gpureach -app GUPS -scheme lds -scale 0.25
 //	gpureach -app BICG -l2tlb 8192 -pagesize 2M
+//	gpureach -app ATAX -scheme ic+lds -chaos seed=1,rate=0.01
 //	gpureach -list
 package main
 
@@ -16,6 +17,8 @@ import (
 	"os"
 	"strings"
 
+	"gpureach/internal/chaos"
+	"gpureach/internal/check"
 	"gpureach/internal/core"
 	"gpureach/internal/vm"
 	"gpureach/internal/workloads"
@@ -39,6 +42,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "footprint/instruction scale factor")
 	l2tlb := flag.Int("l2tlb", 512, "L2 TLB entries")
 	pageSize := flag.String("pagesize", "4K", "page size: 4K, 64K or 2M")
+	chaosSpec := flag.String("chaos", "", "fault injection: seed=N,rate=R[,max=M] — deterministic shootdowns, migrations, LDS reclaims and walker stalls with live invariant checks")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -76,7 +80,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := core.Run(cfg, w, *scale)
+	var injector *chaos.Injector
+	sys := core.NewSystem(cfg)
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sys.Checker = check.NewChecker()
+		injector = chaos.New(sys, ccfg)
+		injector.Arm()
+	}
+	kernels := w.Build(sys.Space, *scale)
+	r, err := sys.Run(w.Name, kernels)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("app            %s (%s, category %s)\n", w.Name, w.Suite, w.Category)
 	fmt.Printf("scheme         %s\n", r.Scheme)
 	fmt.Printf("cycles         %d\n", r.Cycles)
@@ -92,6 +113,12 @@ func main() {
 	fmt.Printf("DRAM           %d reads, %d writes, %.2f mJ\n", r.DRAMReads, r.DRAMWrites, r.DRAMEnergyPJ/1e9)
 	fmt.Printf("peak Tx gained %d entries\n", r.PeakTxResident)
 	fmt.Printf("Tx shared      %.1f%% across CUs\n", 100*r.SharedTxFraction)
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("chaos          %d injections (shootdown=%d migrate=%d reclaim=%d stall=%d), digest %#016x\n",
+			st.Injections, st.Shootdowns, st.Migrations, st.Reclaims, st.Stalls, injector.Digest())
+		fmt.Printf("invariants     %d probe runs, %d violations\n", sys.Checker.Runs(), len(sys.Checker.Violations))
+	}
 }
 
 func schemeNames() []string {

@@ -23,11 +23,11 @@ func main() {
 	for _, ps := range []vm.PageSize{vm.Page4K, vm.Page64K, vm.Page2M} {
 		baseCfg := core.DefaultConfig(core.Baseline())
 		baseCfg.PageSize = ps
-		base := core.Run(baseCfg, w, scale)
+		base := core.MustRun(baseCfg, w, scale)
 
 		cfg := core.DefaultConfig(core.Combined())
 		cfg.PageSize = ps
-		r := core.Run(cfg, w, scale)
+		r := core.MustRun(cfg, w, scale)
 
 		fmt.Printf("%-8s %12d %12d %9.3fx %12d\n",
 			name(ps), base.PageWalks, r.PageWalks, r.Speedup(base), base.Cycles)

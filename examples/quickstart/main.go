@@ -24,8 +24,8 @@ func main() {
 	// for the full experiment footprint.
 	const scale = 0.5
 
-	baseline := core.Run(core.DefaultConfig(core.Baseline()), atax, scale)
-	combined := core.Run(core.DefaultConfig(core.Combined()), atax, scale)
+	baseline := core.MustRun(core.DefaultConfig(core.Baseline()), atax, scale)
+	combined := core.MustRun(core.DefaultConfig(core.Combined()), atax, scale)
 
 	fmt.Println("ATAX on the Table 1 GPU (8 CUs, 32-entry L1 TLBs, 512-entry L2 TLB)")
 	fmt.Println()

@@ -44,12 +44,9 @@ func main() {
 	space.PageTable().Map(vpn, oldPFN+0x1000) // migration to a new frame
 
 	// Driver shootdown (§7.1): the packet processor tells every CU's
-	// L1 TLB, LDS and I-cache controller, plus the L2 TLB and IOMMU.
-	for _, x := range sys.Xlats {
-		x.Shootdown(space.ID, vpn)
-	}
-	sys.L2TLB.TLB.Invalidate(tlb.MakeKey(space.ID, vpn))
-	sys.IOMMU.Shootdown(space.ID, vpn)
+	// L1 TLB, LDS and I-cache controller, plus the L2 TLB, the IOMMU
+	// and (when configured) the DUCATI store.
+	sys.ShootdownAll(space.ID, vpn)
 
 	// Verify: no structure still caches the stale translation.
 	stale := 0

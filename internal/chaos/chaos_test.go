@@ -1,0 +1,131 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"gpureach/internal/chaos"
+	"gpureach/internal/check"
+	"gpureach/internal/core"
+	"gpureach/internal/workloads"
+)
+
+func chaoticRun(t *testing.T, seed uint64, rate float64) (core.Results, *chaos.Injector, *check.Checker) {
+	t.Helper()
+	cfg := core.DefaultConfig(core.CombinedDucati())
+	s := core.NewSystem(cfg)
+	s.Checker = check.NewChecker()
+	inj := chaos.New(s, chaos.Config{Seed: seed, Rate: rate})
+	inj.Arm()
+	w, ok := workloads.ByName("GUPS")
+	if !ok {
+		t.Fatal("GUPS workload missing")
+	}
+	kernels := w.Build(s.Space, 0.02)
+	res, err := s.Run(w.Name, kernels)
+	if err != nil {
+		t.Fatalf("chaotic run failed: %v", err)
+	}
+	return res, inj, s.Checker
+}
+
+func TestChaoticRunSurvivesWithZeroViolations(t *testing.T) {
+	res, inj, ck := chaoticRun(t, 1, 0.01)
+	st := inj.Stats()
+	if st.Injections == 0 {
+		t.Fatal("chaos injected nothing — rate/arm wiring broken")
+	}
+	if st.Shootdowns == 0 {
+		t.Errorf("no shootdowns among %d injections", st.Injections)
+	}
+	if st.Violations != 0 {
+		t.Errorf("after-fault probes found %d violations: %v", st.Violations, ck.Violations)
+	}
+	if len(ck.Violations) != 0 {
+		t.Errorf("checker recorded %d violations: %v", len(ck.Violations), ck.Violations)
+	}
+	if ck.Runs() == 0 {
+		t.Error("checker never ran")
+	}
+	if res.Cycles == 0 || res.KernelsRun == 0 {
+		t.Errorf("run produced empty results: %+v", res)
+	}
+	t.Logf("injections=%d (sd=%d mig=%d rec=%d stall=%d) digest=%#x cycles=%d",
+		st.Injections, st.Shootdowns, st.Migrations, st.Reclaims, st.Stalls,
+		inj.Digest(), res.Cycles)
+}
+
+func TestSameSeedSameScheduleAndStats(t *testing.T) {
+	resA, injA, _ := chaoticRun(t, 7, 0.02)
+	resB, injB, _ := chaoticRun(t, 7, 0.02)
+	if injA.Digest() != injB.Digest() {
+		t.Errorf("same seed, different schedules: %#x vs %#x", injA.Digest(), injB.Digest())
+	}
+	if la, lb := injA.Log(), injB.Log(); len(la) != len(lb) {
+		t.Errorf("same seed, different injection counts: %d vs %d", len(la), len(lb))
+	}
+	// Results holds slice fields, so compare the scalar core.
+	if resA.Cycles != resB.Cycles || resA.PageWalks != resB.PageWalks ||
+		resA.ThreadInstrs != resB.ThreadInstrs || resA.LDSTxHits != resB.LDSTxHits {
+		t.Errorf("same seed, different stats:\n  A: %v\n  B: %v", resA, resB)
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	_, injA, _ := chaoticRun(t, 1, 0.02)
+	_, injB, _ := chaoticRun(t, 2, 0.02)
+	if injA.Digest() == injB.Digest() && len(injA.Log()) > 0 {
+		t.Errorf("seeds 1 and 2 produced identical non-empty schedules (digest %#x)", injA.Digest())
+	}
+}
+
+func TestMaxInjectionsCap(t *testing.T) {
+	cfg := core.DefaultConfig(core.Combined())
+	s := core.NewSystem(cfg)
+	inj := chaos.New(s, chaos.Config{Seed: 3, Rate: 0.05, MaxInjections: 5})
+	inj.Arm()
+	w, _ := workloads.ByName("GUPS")
+	kernels := w.Build(s.Space, 0.02)
+	if _, err := s.Run(w.Name, kernels); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := inj.Stats().Injections; got != 5 {
+		t.Errorf("Injections = %d, want exactly 5 (MaxInjections)", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := chaos.ParseSpec("seed=1,rate=0.01")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if c.Seed != 1 || c.Rate != 0.01 {
+		t.Errorf("got %+v", c)
+	}
+	c, err = chaos.ParseSpec("seed=0xFF,rate=0.5,max=10")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if c.Seed != 0xFF || c.MaxInjections != 10 {
+		t.Errorf("got %+v", c)
+	}
+	for _, bad := range []string{"", "seed=1", "rate=0", "rate=-1", "seed=x,rate=1", "bogus=1,rate=1"} {
+		if _, err := chaos.ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInertWithoutArm(t *testing.T) {
+	cfg := core.DefaultConfig(core.Baseline())
+	s := core.NewSystem(cfg)
+	inj := chaos.New(s, chaos.Config{Seed: 1, Rate: 0.5})
+	// Never armed: the run must be injection-free.
+	w, _ := workloads.ByName("GUPS")
+	kernels := w.Build(s.Space, 0.01)
+	if _, err := s.Run(w.Name, kernels); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if inj.Stats().Injections != 0 {
+		t.Errorf("unarmed injector injected %d faults", inj.Stats().Injections)
+	}
+}

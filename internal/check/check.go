@@ -1,0 +1,288 @@
+// Package check turns the DESIGN.md §5 invariants into live probes that
+// run against a working system mid-simulation — at kernel boundaries
+// and after every chaos-injected fault — instead of only in offline
+// unit tests. The probes operate on a Target of raw structures so the
+// package stays below internal/core in the import graph (core imports
+// check, never the reverse).
+//
+// Probe names are stable identifiers; DESIGN.md §5 maps each paper
+// invariant to its probe:
+//
+//	tx-never-overwrites-lds   Tx-mode never overwrites LDS-mode (§4.2)
+//	instr-aware-keeps-instrs  instruction-aware policy loses no
+//	                          instruction lines to translations (§4.3.2)
+//	shootdown-coverage        a shootdown reaches every structure (§7.1)
+//	fig15-entry-bound         resident Tx entries never exceed the
+//	                          structural capacity bound (Fig 15)
+//	tx-coherence              every resident translation matches the
+//	                          current page table (§7.1, migrations)
+package check
+
+import (
+	"fmt"
+
+	"gpureach/internal/ducati"
+	"gpureach/internal/icache"
+	"gpureach/internal/lds"
+	"gpureach/internal/sim"
+	"gpureach/internal/tlb"
+	"gpureach/internal/vm"
+)
+
+// Target is a checker's view of one live system: the raw translation
+// structures plus the functional ground truth (page tables). core
+// assembles it; chaos re-runs probes against it after each fault.
+type Target struct {
+	// PageTables is the ground truth per address space.
+	PageTables map[vm.SpaceID]*vm.PageTable
+
+	L1TLBs  []*tlb.TLB
+	L2TLB   *tlb.TLB
+	DevTLBs []*tlb.TLB
+	LDSs    []*lds.LDS
+	ICaches []*icache.ICache
+	Ducati  *ducati.Store // nil unless the scheme carves one
+
+	// TxEntryBound is the Fig 15 structural capacity bound: the maximum
+	// number of victim translations the reconfigured structures could
+	// ever hold at once. Zero disables the bound probe.
+	TxEntryBound int
+
+	// ShotDown lists keys a just-executed shootdown must have purged
+	// from every structure. Empty outside the after-fault scope.
+	ShotDown []tlb.Key
+}
+
+// Scope selects when a probe runs. Cheap probes run after every
+// injected fault; full-scan probes run at kernel boundaries (and at the
+// end of the run) where their cost is amortized.
+type Scope uint8
+
+const (
+	AfterFault Scope = 1 << iota
+	KernelBoundary
+)
+
+// Probe is one live invariant: Check returns a description of each
+// violation it finds (empty = invariant holds).
+type Probe struct {
+	Name  string
+	Scope Scope
+	Check func(t *Target) []string
+}
+
+// Violation records one probe failure with enough context to replay it.
+type Violation struct {
+	Probe  string
+	When   string // "kernel-boundary", "chaos:migration", ...
+	At     sim.Time
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s at cycle %d: %s", v.Probe, v.When, v.At, v.Detail)
+}
+
+// maxViolations caps recorded violations; a broken invariant usually
+// fails thousands of times and the first few are what matter.
+const maxViolations = 64
+
+// Checker owns the probe set and accumulates violations across a run.
+type Checker struct {
+	Probes     []Probe
+	Violations []Violation
+	runs       uint64
+	dropped    uint64
+}
+
+// NewChecker returns a checker with the default DESIGN.md §5 probe set.
+func NewChecker() *Checker {
+	return &Checker{Probes: DefaultProbes()}
+}
+
+// Runs returns how many probe evaluations have executed.
+func (c *Checker) Runs() uint64 { return c.runs }
+
+// Run evaluates every probe whose scope matches against t, recording
+// violations stamped with when/now. It returns the number of new
+// violations found by this evaluation.
+func (c *Checker) Run(t *Target, scope Scope, when string, now sim.Time) int {
+	found := 0
+	for _, p := range c.Probes {
+		if p.Scope&scope == 0 {
+			continue
+		}
+		c.runs++
+		for _, detail := range p.Check(t) {
+			found++
+			if len(c.Violations) >= maxViolations {
+				c.dropped++
+				continue
+			}
+			c.Violations = append(c.Violations, Violation{
+				Probe: p.Name, When: when, At: now, Detail: detail,
+			})
+		}
+	}
+	return found
+}
+
+// Err returns nil when every probe held, or a *sim.SimError (kind
+// invariant-violation) summarizing the recorded violations.
+func (c *Checker) Err() error {
+	if len(c.Violations) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("%d invariant violation(s); first: %s", len(c.Violations)+int(c.dropped), c.Violations[0])
+	return &sim.SimError{Kind: sim.ErrInvariant, Msg: msg}
+}
+
+// DefaultProbes returns the §5 invariants as live probes.
+func DefaultProbes() []Probe {
+	return []Probe{
+		{Name: "tx-never-overwrites-lds", Scope: AfterFault | KernelBoundary, Check: probeLDSMode},
+		{Name: "instr-aware-keeps-instrs", Scope: AfterFault | KernelBoundary, Check: probeInstrAware},
+		{Name: "shootdown-coverage", Scope: AfterFault, Check: probeShootdown},
+		{Name: "fig15-entry-bound", Scope: KernelBoundary, Check: probeEntryBound},
+		{Name: "tx-coherence", Scope: KernelBoundary, Check: probeCoherence},
+	}
+}
+
+// probeLDSMode asserts the §4.2 allocation invariant live: every
+// segment inside a live work-group reservation is in LDS-mode — no
+// translation fill ever overwrote application data.
+func probeLDSMode(t *Target) []string {
+	var out []string
+	for cu, l := range t.LDSs {
+		for _, a := range l.Allocations() {
+			for s := a.StartSeg; s < a.StartSeg+a.Segs; s++ {
+				if m := l.SegmentMode(s); m != lds.LDSMode {
+					out = append(out, fmt.Sprintf("cu%d seg%d of wg%d reservation is %s, want lds", cu, s, a.WG, m))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// probeInstrAware asserts §4.3.2: under the instruction-aware policy no
+// translation fill ever converted an instruction line.
+func probeInstrAware(t *Target) []string {
+	var out []string
+	for g, ic := range t.ICaches {
+		cfg := ic.Config()
+		if cfg.Policy != icache.PolicyInstrAware || cfg.TxPerLine == 0 {
+			continue
+		}
+		if n := ic.Stats().InstrLinesLostToTx; n != 0 {
+			out = append(out, fmt.Sprintf("icache%d lost %d instruction lines to translations under instr-aware policy", g, n))
+		}
+	}
+	return out
+}
+
+// probeShootdown asserts §7.1 coverage: each just-shot-down key is
+// absent from every structure that can hold a translation.
+func probeShootdown(t *Target) []string {
+	var out []string
+	report := func(key tlb.Key, where string) {
+		out = append(out, fmt.Sprintf("key %#x (vpn %#x) survived shootdown in %s", uint64(key), uint64(key.VPN()), where))
+	}
+	for _, key := range t.ShotDown {
+		for i, l1 := range t.L1TLBs {
+			if _, ok := l1.Probe(key); ok {
+				report(key, fmt.Sprintf("l1tlb[%d]", i))
+			}
+		}
+		for i, l := range t.LDSs {
+			if _, ok := l.TxProbe(key); ok {
+				report(key, fmt.Sprintf("lds[%d]", i))
+			}
+		}
+		for i, ic := range t.ICaches {
+			if _, ok := ic.TxProbe(key); ok {
+				report(key, fmt.Sprintf("icache[%d]", i))
+			}
+		}
+		if t.L2TLB != nil {
+			if _, ok := t.L2TLB.Probe(key); ok {
+				report(key, "l2tlb")
+			}
+		}
+		for i, dev := range t.DevTLBs {
+			if _, ok := dev.Probe(key); ok {
+				report(key, fmt.Sprintf("devtlb[%d]", i))
+			}
+		}
+		if t.Ducati != nil {
+			if _, ok := t.Ducati.Probe(key); ok {
+				report(key, "ducati")
+			}
+		}
+	}
+	return out
+}
+
+// probeEntryBound asserts the Fig 15 structural bound: the victim
+// structures never report more resident translations than their
+// reconfigurable capacity.
+func probeEntryBound(t *Target) []string {
+	if t.TxEntryBound <= 0 {
+		return nil
+	}
+	resident := 0
+	for _, l := range t.LDSs {
+		resident += l.TxResident()
+	}
+	for _, ic := range t.ICaches {
+		resident += ic.TxResident()
+	}
+	if resident > t.TxEntryBound {
+		return []string{fmt.Sprintf("%d resident Tx entries exceed the Fig 15 bound of %d", resident, t.TxEntryBound)}
+	}
+	return nil
+}
+
+// probeCoherence asserts that every resident translation anywhere in
+// the hierarchy matches the current page table — stale PFNs after a
+// migration mean a shootdown was lost or an in-flight fill delivered a
+// dead-on-arrival entry.
+func probeCoherence(t *Target) []string {
+	var out []string
+	verify := func(where string) func(tlb.Entry) {
+		return func(e tlb.Entry) {
+			pt, ok := t.PageTables[e.Space]
+			if !ok {
+				out = append(out, fmt.Sprintf("%s holds entry for unknown space %s", where, e.Space))
+				return
+			}
+			pfn, mapped := pt.Lookup(e.VPN)
+			if !mapped {
+				out = append(out, fmt.Sprintf("%s holds unmapped vpn %#x (%s)", where, uint64(e.VPN), e.Space))
+				return
+			}
+			if pfn != e.PFN {
+				out = append(out, fmt.Sprintf("%s holds stale pfn %#x for vpn %#x (table says %#x)", where, uint64(e.PFN), uint64(e.VPN), uint64(pfn)))
+			}
+		}
+	}
+	for i, l1 := range t.L1TLBs {
+		l1.ForEach(verify(fmt.Sprintf("l1tlb[%d]", i)))
+	}
+	for i, l := range t.LDSs {
+		l.ForEachTx(verify(fmt.Sprintf("lds[%d]", i)))
+	}
+	for i, ic := range t.ICaches {
+		ic.ForEachTx(verify(fmt.Sprintf("icache[%d]", i)))
+	}
+	if t.L2TLB != nil {
+		t.L2TLB.ForEach(verify("l2tlb"))
+	}
+	for i, dev := range t.DevTLBs {
+		dev.ForEach(verify(fmt.Sprintf("devtlb[%d]", i)))
+	}
+	if t.Ducati != nil {
+		t.Ducati.ForEach(verify("ducati"))
+	}
+	return out
+}

@@ -17,7 +17,7 @@ func TestCalibrationReport(t *testing.T) {
 	}
 	for _, w := range workloads.All() {
 		start := time.Now()
-		r := Run(DefaultConfig(Baseline()), w, 1.0)
+		r := MustRun(DefaultConfig(Baseline()), w, 1.0)
 		t.Logf("%-5s cat=%s %8.1fms  %v", w.Name, w.Category, float64(time.Since(start).Microseconds())/1000, r)
 	}
 }

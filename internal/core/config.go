@@ -109,6 +109,10 @@ type Config struct {
 	// Table 1 structure latencies.
 	WireLatencyIC  sim.Time
 	WireLatencyLDS sim.Time
+
+	// Watchdog bounds every engine run (sim.RunGuarded). Scalar fields
+	// only: Config doubles as a memoization map key in experiments.
+	Watchdog sim.GuardConfig
 }
 
 // DefaultConfig returns the Table 1 system with the given scheme.
@@ -135,5 +139,9 @@ func DefaultConfig(s Scheme) Config {
 		LDS:           lds.DefaultConfig(),
 		Scheme:        s,
 		DucatiEntries: 256 << 10,
+		// Livelock detection only: full-scale runs execute billions of
+		// events and span billions of cycles, but no legitimate workload
+		// executes millions of events without the clock ever advancing.
+		Watchdog: sim.GuardConfig{NoProgressEvents: 5_000_000},
 	}
 }

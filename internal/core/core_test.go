@@ -127,7 +127,7 @@ func TestPerfectL2TLBEliminatesWalks(t *testing.T) {
 	w, _ := workloads.ByName("ATAX")
 	cfg := DefaultConfig(Baseline())
 	cfg.PerfectL2TLB = true
-	r := Run(cfg, w, smokeScale)
+	r := MustRun(cfg, w, smokeScale)
 	if r.PageWalks != 0 {
 		t.Errorf("perfect L2 TLB still walked %d times", r.PageWalks)
 	}
@@ -138,10 +138,10 @@ func TestPerfectL2TLBEliminatesWalks(t *testing.T) {
 
 func TestLargerL2TLBNeverSlower(t *testing.T) {
 	w, _ := workloads.ByName("GUPS")
-	base := Run(DefaultConfig(Baseline()), w, smokeScale)
+	base := MustRun(DefaultConfig(Baseline()), w, smokeScale)
 	cfg := DefaultConfig(Baseline())
 	cfg.L2TLBEntries = 65536
-	big := Run(cfg, w, smokeScale)
+	big := MustRun(cfg, w, smokeScale)
 	if big.PageWalks > base.PageWalks {
 		t.Errorf("larger L2 TLB increased walks: %d -> %d", base.PageWalks, big.PageWalks)
 	}
@@ -153,10 +153,10 @@ func TestLargerL2TLBNeverSlower(t *testing.T) {
 func TestPageSizeReducesWalks(t *testing.T) {
 	w, _ := workloads.ByName("ATAX")
 	c4 := DefaultConfig(Baseline())
-	r4 := Run(c4, w, smokeScale)
+	r4 := MustRun(c4, w, smokeScale)
 	c2m := DefaultConfig(Baseline())
 	c2m.PageSize = vm.Page2M
-	r2m := Run(c2m, w, smokeScale)
+	r2m := MustRun(c2m, w, smokeScale)
 	if r2m.PageWalks >= r4.PageWalks {
 		t.Errorf("2MB pages did not reduce walks: %d vs %d", r2m.PageWalks, r4.PageWalks)
 	}
@@ -164,8 +164,8 @@ func TestPageSizeReducesWalks(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	w, _ := workloads.ByName("BFS")
-	a := Run(DefaultConfig(Combined()), w, smokeScale)
-	b := Run(DefaultConfig(Combined()), w, smokeScale)
+	a := MustRun(DefaultConfig(Combined()), w, smokeScale)
+	b := MustRun(DefaultConfig(Combined()), w, smokeScale)
 	if a.Cycles != b.Cycles || a.PageWalks != b.PageWalks || a.LDSTxHits != b.LDSTxHits {
 		t.Errorf("runs are not deterministic: %v vs %v", a, b)
 	}
@@ -173,12 +173,12 @@ func TestDeterministicRuns(t *testing.T) {
 
 func TestWireLatencyReducesButKeepsGains(t *testing.T) {
 	w, _ := workloads.ByName("ATAX")
-	base := Run(DefaultConfig(Baseline()), w, smokeScale)
-	fast := Run(DefaultConfig(Combined()), w, smokeScale)
+	base := MustRun(DefaultConfig(Baseline()), w, smokeScale)
+	fast := MustRun(DefaultConfig(Combined()), w, smokeScale)
 	slowCfg := DefaultConfig(Combined())
 	slowCfg.WireLatencyIC = 100
 	slowCfg.WireLatencyLDS = 100
-	slow := Run(slowCfg, w, smokeScale)
+	slow := MustRun(slowCfg, w, smokeScale)
 	// Allow small second-order timing noise at smoke scale; the Fig 16b
 	// experiment checks the monotone trend at full scale.
 	if slow.Speedup(base) > 1.05*fast.Speedup(base) {

@@ -64,7 +64,7 @@ func runShared(cfg Config, w workloads.Workload, scale float64) Results {
 	if r, ok := runCache[key]; ok {
 		return r
 	}
-	r := Run(cfg, w, scale)
+	r := MustRun(cfg, w, scale)
 	runCache[key] = r
 	return r
 }

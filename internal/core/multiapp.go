@@ -39,6 +39,7 @@ func RunMultiApp(cfg Config, apps []workloads.Workload, scale float64) ([]MultiA
 	var ctxs []*gpu.Context
 	for i, w := range apps {
 		space := vm.NewAddrSpace(vm.SpaceID{VMID: uint8(i)}, s.Frames, cfg.PageSize)
+		s.Spaces = append(s.Spaces, space)
 		kernels := w.Build(space, scale)
 		var cuIDs []int
 		for c := i * cusPerApp; c < (i+1)*cusPerApp; c++ {

@@ -177,9 +177,21 @@ func ratio(num, den uint64) float64 {
 }
 
 // Run builds a system with cfg, instantiates workload w at the given
-// scale, and executes it end-to-end.
-func Run(cfg Config, w workloads.Workload, scale float64) Results {
+// scale, and executes it end-to-end. Structured simulation failures
+// (sim.SimError: page fault, deadlock, watchdog, invariant violation)
+// are returned, not panicked.
+func Run(cfg Config, w workloads.Workload, scale float64) (Results, error) {
 	s := NewSystem(cfg)
 	kernels := w.Build(s.Space, scale)
 	return s.Run(w.Name, kernels)
+}
+
+// MustRun is Run for trusted configurations — experiment presets and
+// tests where a simulation failure is a bug worth crashing on.
+func MustRun(cfg Config, w workloads.Workload, scale float64) Results {
+	r, err := Run(cfg, w, scale)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -13,7 +13,7 @@ func TestSmokeAllAppsBaseline(t *testing.T) {
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			r := Run(DefaultConfig(Baseline()), w, smokeScale)
+			r := MustRun(DefaultConfig(Baseline()), w, smokeScale)
 			if r.Cycles == 0 {
 				t.Fatal("no cycles simulated")
 			}
@@ -27,8 +27,8 @@ func TestSmokeAllAppsBaseline(t *testing.T) {
 
 func TestSmokeCombinedScheme(t *testing.T) {
 	w, _ := workloads.ByName("ATAX")
-	base := Run(DefaultConfig(Baseline()), w, smokeScale)
-	comb := Run(DefaultConfig(Combined()), w, smokeScale)
+	base := MustRun(DefaultConfig(Baseline()), w, smokeScale)
+	comb := MustRun(DefaultConfig(Combined()), w, smokeScale)
 	t.Logf("baseline: %v", base)
 	t.Logf("combined: %v", comb)
 	t.Logf("speedup: %.3f", comb.Speedup(base))

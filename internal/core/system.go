@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpureach/internal/cache"
+	"gpureach/internal/check"
 	"gpureach/internal/dram"
 	"gpureach/internal/ducati"
 	"gpureach/internal/gpu"
@@ -22,6 +23,15 @@ type System struct {
 	Eng    *sim.Engine
 	Frames *vm.FrameAllocator
 	Space  *vm.AddrSpace
+	// Spaces lists every address space live on this system — the
+	// primary Space plus any multi-app tenants — so invariant probes
+	// can reach each one's page table.
+	Spaces []*vm.AddrSpace
+
+	// Checker, when non-nil, runs the DESIGN.md §5 invariants live: at
+	// every kernel boundary, and (via Check) after every injected
+	// fault. Run folds its verdict into the returned error.
+	Checker *check.Checker
 
 	DRAM    *dram.DRAM
 	L2C     *cache.Cache
@@ -53,6 +63,7 @@ func NewSystem(cfg Config) *System {
 
 	s.Frames = vm.NewFrameAllocator(cfg.PhysBytes)
 	s.Space = vm.NewAddrSpace(vm.SpaceID{VMID: 1}, s.Frames, cfg.PageSize)
+	s.Spaces = []*vm.AddrSpace{s.Space}
 
 	s.DRAM = dram.New(eng, cfg.DRAM)
 	s.L2C = cache.New(eng, cfg.L2, s.DRAM)
@@ -123,6 +134,7 @@ func NewSystem(cfg Config) *System {
 
 	s.GPU = gpu.NewSystem(eng, cfg.GPU, s.CUs, s.Space, s.Frames)
 	s.GPU.OnKernelBoundary = func(next *gpu.Kernel) { s.sample(next.Name) }
+	s.GPU.Guard = cfg.Watchdog
 	return s
 }
 
@@ -167,12 +179,87 @@ func (s *System) sample(nextKernel string) {
 	if resident > s.PeakTxResident {
 		s.PeakTxResident = resident
 	}
+
+	s.Check(check.KernelBoundary, "kernel-boundary")
+}
+
+// checkTarget assembles the invariant probes' view of this system.
+func (s *System) checkTarget() *check.Target {
+	pts := make(map[vm.SpaceID]*vm.PageTable, len(s.Spaces))
+	for _, sp := range s.Spaces {
+		pts[sp.ID] = sp.PageTable()
+	}
+	l1s := make([]*tlb.TLB, len(s.Xlats))
+	for i, x := range s.Xlats {
+		l1s[i] = x.L1()
+	}
+	devL1, devL2 := s.IOMMU.DeviceTLBs()
+	return &check.Target{
+		PageTables:   pts,
+		L1TLBs:       l1s,
+		L2TLB:        s.L2TLB.TLB,
+		DevTLBs:      []*tlb.TLB{devL1, devL2},
+		LDSs:         s.LDSs,
+		ICaches:      s.ICaches,
+		Ducati:       s.Ducati,
+		TxEntryBound: s.txEntryBound(),
+	}
+}
+
+// txEntryBound is the Fig 15 structural capacity: the most victim
+// translations the scheme's reconfigured structures could ever hold.
+func (s *System) txEntryBound() int {
+	bound := 0
+	if s.Cfg.Scheme.UseLDS {
+		bound += s.Cfg.GPU.NumCUs * (s.Cfg.LDS.SizeBytes / s.Cfg.LDS.SegmentBytes) * s.Cfg.LDS.TxWaysPerSegment()
+	}
+	if s.Cfg.Scheme.UseIC {
+		lines := s.Cfg.ICache.SizeBytes / s.Cfg.ICache.LineBytes
+		bound += s.Cfg.GPU.NumCUs / s.Cfg.ICSharers * lines * s.Cfg.Scheme.ICTxPerLine
+	}
+	return bound
+}
+
+// Check runs the live invariant probes in the given scope (no-op
+// without a Checker) and returns the number of new violations. shot
+// lists keys a just-executed shootdown must have purged everywhere.
+func (s *System) Check(scope check.Scope, when string, shot ...tlb.Key) int {
+	if s.Checker == nil {
+		return 0
+	}
+	t := s.checkTarget()
+	t.ShotDown = shot
+	return s.Checker.Run(t, scope, when, s.Eng.Now())
+}
+
+// ShootdownAll executes the §7.1 driver shootdown for one page: a
+// PM4-style invalidation packet that must reach every structure capable
+// of holding the translation — all per-CU L1 TLBs and victim stores
+// (LDS, I-cache), the shared L2 TLB, the IOMMU device TLBs, and the
+// DUCATI region when configured.
+func (s *System) ShootdownAll(space vm.SpaceID, vpn vm.VPN) {
+	key := tlb.MakeKey(space, vpn)
+	for _, x := range s.Xlats {
+		x.Shootdown(space, vpn) // L1 TLB + this CU's LDS/I-cache Tx entries
+	}
+	s.L2TLB.TLB.Invalidate(key)
+	s.IOMMU.Shootdown(space, vpn)
+	if s.Ducati != nil {
+		s.Ducati.Shootdown(key)
+	}
 }
 
 // Run executes workload kernels (already built against s.Space) and
-// returns the results.
-func (s *System) Run(app string, kernels []*gpu.Kernel) Results {
+// returns the results. Structured simulation failures — page faults on
+// the walk path, context deadlock, watchdog trips, invariant
+// violations — come back as a *sim.SimError instead of a panic.
+func (s *System) Run(app string, kernels []*gpu.Kernel) (res Results, err error) {
+	defer sim.RecoverSimError(&err)
 	cycles := s.GPU.RunKernels(kernels)
 	s.sample("") // end-of-run sample (single-kernel apps get at least one)
-	return s.collect(app, cycles)
+	res = s.collect(app, cycles)
+	if s.Checker != nil {
+		err = s.Checker.Err()
+	}
+	return res, err
 }

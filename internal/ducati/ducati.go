@@ -104,6 +104,26 @@ func (s *Store) Fill(e tlb.Entry) {
 	s.mem.Access(s.slotAddr(i), true, func() {})
 }
 
+// Probe reports whether key is resident, without the memory access a
+// real Lookup costs and without touching the counters. Invariant probes
+// (internal/check) use it: a shootdown must leave no trace here either.
+func (s *Store) Probe(key tlb.Key) (tlb.Entry, bool) {
+	sl := s.slots[s.index(key)]
+	if sl.valid && sl.key == key {
+		return sl.entry, true
+	}
+	return tlb.Entry{}, false
+}
+
+// ForEach calls fn for every resident translation (coherence probes).
+func (s *Store) ForEach(fn func(tlb.Entry)) {
+	for i := range s.slots {
+		if s.slots[i].valid {
+			fn(s.slots[i].entry)
+		}
+	}
+}
+
 // Shootdown invalidates key if present (§7.1) and reports whether an
 // entry was removed.
 func (s *Store) Shootdown(key tlb.Key) bool {

@@ -24,6 +24,10 @@ type System struct {
 	// the §4.3.3 I-cache flush and Figure 11 utilization sampling here.
 	OnKernelBoundary func(next *Kernel)
 
+	// Guard bounds every engine run started by RunContexts. The zero
+	// value runs unguarded; core.NewSystem installs a livelock watchdog.
+	Guard sim.GuardConfig
+
 	// LDSRequestBytes samples the per-work-group LDS reservation at
 	// each dispatch (Figure 4a).
 	LDSRequestBytes *sim.Gaps
@@ -102,15 +106,37 @@ func (s *System) RunContexts(ctxs []*Context) sim.Time {
 		ctx.Validate(s.Cfg)
 		s.launchNext(ctx)
 	}
-	s.Eng.Run()
+	if err := s.Eng.RunGuarded(s.Guard); err != nil {
+		// Deep callbacks cannot thread errors out; re-raise as the
+		// structured panic core.Run recovers at the boundary.
+		panic(err)
+	}
 	for _, ctx := range ctxs {
 		if ctx.active || ctx.idx != len(ctx.Kernels) {
-			panic(fmt.Sprintf("gpu: context deadlocked at kernel %d/%d (%d/%d work-groups done)",
-				ctx.idx, len(ctx.Kernels), ctx.wgDone, ctx.kernel.NumWorkgroups))
+			s.Eng.Failf(sim.ErrDeadlock, "gpu: context deadlocked at kernel %d/%d (%d/%d work-groups done)",
+				ctx.idx, len(ctx.Kernels), ctx.wgDone, ctx.kernel.NumWorkgroups)
 		}
 	}
 	return s.Eng.Now()
 }
+
+// Busy reports whether any context still has undispatched or running
+// work. The chaos injector stops re-arming its tick once the machine
+// goes idle so the event queue can drain.
+func (s *System) Busy() bool {
+	for _, ctx := range s.contexts {
+		if ctx.active || ctx.idx != len(ctx.Kernels) {
+			return true
+		}
+	}
+	return false
+}
+
+// Kick re-runs the work-group dispatcher. External actors that free CU
+// resources outside the wave-retire path — the chaos injector releasing
+// a fault-injected LDS reservation — must kick the scheduler or pending
+// work-groups would wait for the next natural dispatch edge.
+func (s *System) Kick() { s.dispatch() }
 
 // launchNext schedules the context's next kernel after the host-side
 // dispatch latency; a context with no kernels left records its finish

@@ -337,6 +337,24 @@ func (c *ICache) TxLookup(key tlb.Key) (tlb.Entry, bool, sim.Time) {
 	return tlb.Entry{Space: ln.txSpaces[w], VPN: ln.txVPNs[w], PFN: ln.txPFNs[w]}, true, finish
 }
 
+// TxProbe reports whether key is resident right now, with no port,
+// latency, LRU, or counter side effects — the I-cache twin of
+// lds.TxProbe, used for mid-flight re-validation and invariant probes.
+func (c *ICache) TxProbe(key tlb.Key) (tlb.Entry, bool) {
+	if c.cfg.TxPerLine == 0 {
+		return tlb.Entry{}, false
+	}
+	ln := c.txLine(key)
+	if ln.mode != TxMode {
+		return tlb.Entry{}, false
+	}
+	w := ln.txTags.Find(c.txTagValue(key))
+	if w < 0 || tlb.MakeKey(ln.txSpaces[w], ln.txVPNs[w]) != key {
+		return tlb.Entry{}, false
+	}
+	return tlb.Entry{Space: ln.txSpaces[w], VPN: ln.txVPNs[w], PFN: ln.txPFNs[w]}, true
+}
+
 // TxInsert offers a victim translation to the cache (Figure 12 flows
 // ③→④). Under the instruction-aware policy an IC-mode target line
 // bypasses the fill; under the naive policy the line is converted,

@@ -237,6 +237,26 @@ func (l *LDS) FreeWorkgroup(wg int) {
 	l.allocs = kept
 }
 
+// Allocation describes one live work-group reservation: wg owns segs
+// contiguous segments starting at StartSeg.
+type Allocation struct {
+	WG       int
+	StartSeg int
+	Segs     int
+}
+
+// Allocations returns the live work-group reservations. The
+// internal/check mode-consistency probe walks them to assert that every
+// segment inside a reservation is in LDS-mode — the paper's "a Tx-mode
+// segment can never overwrite an LDS-mode segment" invariant, live.
+func (l *LDS) Allocations() []Allocation {
+	out := make([]Allocation, len(l.allocs))
+	for i, a := range l.allocs {
+		out[i] = Allocation{WG: a.wg, StartSeg: a.startSeg, Segs: a.segs}
+	}
+	return out
+}
+
 // AllocatedBytes returns the bytes currently reserved by work-groups.
 func (l *LDS) AllocatedBytes() int {
 	n := 0
@@ -311,6 +331,23 @@ func (l *LDS) TxLookup(key tlb.Key) (tlb.Entry, bool, sim.Time) {
 	seg.stamps[w] = l.clock
 	l.stats.TxHits++
 	return tlb.Entry{Space: seg.spaces[w], VPN: seg.vpns[w], PFN: seg.pfns[w]}, true, finish
+}
+
+// TxProbe reports whether key is resident right now, with no port,
+// latency, LRU, or counter side effects. The victim path uses it to
+// re-validate an in-flight hit at delivery time (the entry may have
+// been shot down or reclaimed mid-access), and the internal/check
+// probes use it for absence checks after a shootdown.
+func (l *LDS) TxProbe(key tlb.Key) (tlb.Entry, bool) {
+	seg := &l.segments[l.segIndex(key)]
+	if seg.mode != TxMode {
+		return tlb.Entry{}, false
+	}
+	w := seg.tags.Find(l.tagValue(key))
+	if w < 0 || tlb.MakeKey(seg.spaces[w], seg.vpns[w]) != key {
+		return tlb.Entry{}, false
+	}
+	return tlb.Entry{Space: seg.spaces[w], VPN: seg.vpns[w], PFN: seg.pfns[w]}, true
 }
 
 // TxInsert offers entry e to the victim store (an L1-TLB eviction,

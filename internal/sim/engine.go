@@ -9,7 +9,10 @@
 // the paper's scaled-down configuration (Table 1) runs in seconds.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Time is simulation time in GPU core cycles (2 GHz in the default
 // configuration, though nothing in the engine depends on the frequency).
@@ -70,7 +73,8 @@ func (e *Engine) EventsRun() uint64 { return e.events }
 // every latency measurement downstream.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
-		panic("sim: scheduling event in the past")
+		panic(fmt.Sprintf("sim: scheduling event in the past (at=%d, now=%d, %d events run)",
+			t, e.now, e.events))
 	}
 	e.seq++
 	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
@@ -104,6 +108,9 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(limit Time) {
 	for len(e.queue) > 0 && e.queue[0].at <= limit {
 		e.Step()
+	}
+	if len(e.queue) == 0 && e.now < limit {
+		e.now = limit
 	}
 }
 

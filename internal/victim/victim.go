@@ -93,11 +93,6 @@ func (l *L2TLB) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry))
 			return
 		}
 		if l.Perfect {
-			pfn, ok := space.PageTable().Lookup(vpn)
-			if !ok {
-				panic("victim: perfect L2 TLB saw an unmapped page")
-			}
-			e := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
 			// "Always hits" means the entry is resident: install it so
 			// the array state matches an arbitrarily large TLB (pair
 			// this flag with a large entry count for a true upper
@@ -105,9 +100,16 @@ func (l *L2TLB) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry))
 			// deterministic per-page service variance standing in for
 			// the bank conflicts a giant TLB would have; without it the
 			// perfectly uniform latency phase-locks wavefronts into
-			// convoys no real structure sustains.
+			// convoys no real structure sustains. The page table is read
+			// inside the delayed event so a migration during the jitter
+			// window cannot fabricate a stale PFN.
 			jitter := sim.Time((uint64(vpn)*0x9E3779B97F4A7C15)>>54) & 0x3FF
 			l.Eng.After(jitter, func() {
+				pfn, ok := space.PageTable().Lookup(vpn)
+				if !ok {
+					l.Eng.Failf(sim.ErrPageFault, "victim: perfect L2 TLB saw unmapped page %s vpn=%#x", space.ID, vpn)
+				}
+				e := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
 				l.TLB.Insert(e)
 				l.Coal.Complete(key, e)
 			})
@@ -150,6 +152,11 @@ type Stats struct {
 	LDSHits   uint64
 	ICHits    uint64
 	L2Reached uint64
+	// MidflightInvalidated counts probes that hit at issue but whose
+	// entry was gone by the time the array read completed — a shootdown
+	// or LDS reclaim raced the access, so the lookup resolves as a miss
+	// (the "dead on arrival" hazard).
+	MidflightInvalidated uint64
 	// Fill-flow outcomes (Figure 12).
 	FilledLDS       uint64
 	FilledIC        uint64
@@ -250,12 +257,19 @@ func (p *Path) lookupLDS(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key, done func
 		p.lookupIC(space, vpn, key, done)
 		return
 	}
-	e, hit, finish := p.LDS.TxLookup(key)
+	_, hit, finish := p.LDS.TxLookup(key)
 	p.Eng.At(finish, func() {
+		// The SRAM read completes now, not at issue: re-probe so a
+		// shootdown or work-group reclaim that invalidated the entry
+		// mid-flight turns the hit into a miss instead of delivering a
+		// dead-on-arrival translation into the L1 TLB.
 		if hit {
-			p.stats.LDSHits++
-			done(e)
-			return
+			if cur, still := p.LDS.TxProbe(key); still {
+				p.stats.LDSHits++
+				done(cur)
+				return
+			}
+			p.stats.MidflightInvalidated++
 		}
 		p.lookupIC(space, vpn, key, done)
 	})
@@ -266,12 +280,15 @@ func (p *Path) lookupIC(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key, done func(
 		p.lookupL2(space, vpn, done)
 		return
 	}
-	e, hit, finish := p.IC.TxLookup(key)
+	_, hit, finish := p.IC.TxLookup(key)
 	p.Eng.At(finish, func() {
 		if hit {
-			p.stats.ICHits++
-			done(e)
-			return
+			if cur, still := p.IC.TxProbe(key); still {
+				p.stats.ICHits++
+				done(cur)
+				return
+			}
+			p.stats.MidflightInvalidated++
 		}
 		p.lookupL2(space, vpn, done)
 	})

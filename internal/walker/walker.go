@@ -8,8 +8,6 @@
 package walker
 
 import (
-	"fmt"
-
 	"gpureach/internal/cache"
 	"gpureach/internal/sim"
 	"gpureach/internal/tlb"
@@ -53,6 +51,9 @@ type Stats struct {
 	PWCMiss     uint64
 	MaxQueue    int
 	MergedWalks uint64
+	// StalledWalks counts walks whose start was deferred by an injected
+	// walker stall (chaos harness).
+	StalledWalks uint64
 }
 
 // pwc is a tiny fully-associative page-walk cache over prefix keys.
@@ -117,6 +118,9 @@ type IOMMU struct {
 	freeWalkers int
 	queue       []pendingWalk
 	stats       Stats
+	// stallUntil defers walks started before this cycle — the chaos
+	// harness models a stalled walker pipeline by pushing it forward.
+	stallUntil sim.Time
 }
 
 // New builds an IOMMU whose walks reference memory through mem
@@ -152,6 +156,24 @@ func (io *IOMMU) Stats() Stats {
 func (io *IOMMU) DeviceTLBStats() (tlb.Stats, tlb.Stats) {
 	return io.l1.Stats(), io.l2.Stats()
 }
+
+// DeviceTLBs exposes the device-side TLB arrays (L1, L2) for the live
+// invariant probes (internal/check): shootdown coverage and coherence
+// must inspect actual residency, not just counters.
+func (io *IOMMU) DeviceTLBs() (*tlb.TLB, *tlb.TLB) { return io.l1, io.l2 }
+
+// StallWalkers defers the start of every walk issued during the next d
+// cycles to the end of that window — the chaos harness's model of a
+// stalled walker pipeline (ECC scrub, ATS retry, fabric backpressure).
+// Overlapping stalls extend the window rather than stacking.
+func (io *IOMMU) StallWalkers(d sim.Time) {
+	if until := io.eng.Now() + d; until > io.stallUntil {
+		io.stallUntil = until
+	}
+}
+
+// WalkersStalled reports whether a stall window is currently open.
+func (io *IOMMU) WalkersStalled() bool { return io.stallUntil > io.eng.Now() }
 
 // Translate resolves vpn in space, calling done with the completed
 // entry. The path is: device L1/L2 TLB → page-walk caches → remaining
@@ -209,11 +231,16 @@ func (io *IOMMU) releaseWalker() {
 // cache hit determines how many upper levels are skipped: a PMD hit
 // leaves only the PTE access, a PUD hit two accesses, and so on.
 func (io *IOMMU) startWalk(space *vm.AddrSpace, vpn vm.VPN) {
+	if io.stallUntil > io.eng.Now() {
+		io.stats.StalledWalks++
+		io.eng.At(io.stallUntil, func() { io.startWalk(space, vpn) })
+		return
+	}
 	io.stats.Walks++
 	pt := space.PageTable()
 	walk := pt.Walk(vpn)
 	if !walk.OK {
-		panic(fmt.Sprintf("walker: page fault for %s vpn=%#x — workloads must touch only allocated buffers", space.ID, vpn))
+		io.eng.Failf(sim.ErrPageFault, "walker: page fault for %s vpn=%#x — workloads must touch only allocated buffers", space.ID, vpn)
 	}
 	levels := len(walk.Steps)
 
@@ -257,7 +284,17 @@ func (io *IOMMU) finishWalk(space *vm.AddrSpace, vpn vm.VPN, walk vm.Walk) {
 	if levels >= 4 {
 		io.pmd.fill(pt.PrefixKey(vpn, 3))
 	}
-	entry := tlb.Entry{Space: space.ID, VPN: vpn, PFN: walk.PFN}
+	// Re-read the leaf at completion time instead of using the PFN
+	// captured when the walk started: a page migration that remapped the
+	// VPN while the walk's memory references were in flight is observed
+	// by the final PTE read, exactly as hardware reading the PTE would —
+	// otherwise the stale PFN would be installed into every TLB level
+	// ("dead on arrival" entries).
+	pfn, ok := pt.Lookup(vpn)
+	if !ok {
+		io.eng.Failf(sim.ErrPageFault, "walker: %s vpn=%#x unmapped at walk completion (racing unmap?)", space.ID, vpn)
+	}
+	entry := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
 	io.l2.Insert(entry)
 	io.l1.Insert(entry)
 	io.coal.Complete(tlb.MakeKey(space.ID, vpn), entry)
