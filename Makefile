@@ -1,14 +1,16 @@
 # Verification tiers (see ROADMAP.md).
 #
-#   make tier1   build + full unit tests — the gate every change must pass
-#   make tier2   tier1 plus static analysis and a race-detector sweep
-#   make bench   regenerate the paper's figures/tables (slow; see bench_test.go)
+#   make tier1        build + full unit tests — the gate every change must pass
+#   make tier2        tier1 plus static analysis and a race-detector sweep
+#   make bench        regenerate the paper's figures/tables (slow; see bench_test.go)
+#   make sweep-smoke  fast end-to-end campaign: 2 apps × 2 schemes on the
+#                     parallel sweep engine, with cache/journal/aggregates
 
 GO ?= go
 
 .DEFAULT_GOAL := tier1
 
-.PHONY: tier1 tier2 bench
+.PHONY: tier1 tier2 bench sweep-smoke
 
 tier1:
 	$(GO) build ./...
@@ -20,3 +22,10 @@ tier2: tier1
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+sweep-smoke:
+	rm -rf .sweep-smoke
+	$(GO) run ./cmd/gpureach sweep -apps ATAX,GUPS -schemes ic+lds \
+		-scale 0.05 -procs 2 -out .sweep-smoke -bench .sweep-smoke/BENCH_sweep.json
+	$(GO) run ./cmd/gpureach sweep -apps ATAX,GUPS -schemes ic+lds \
+		-scale 0.05 -procs 2 -out .sweep-smoke -bench .sweep-smoke/BENCH_sweep.json -quiet

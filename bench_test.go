@@ -18,11 +18,13 @@ package gpureach_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
 	"gpureach/internal/core"
 	"gpureach/internal/metrics"
+	"gpureach/internal/sweep"
 )
 
 // benchOpts returns the experiment options for benchmarks, honouring
@@ -191,4 +193,33 @@ func BenchmarkFig2PageWalksVsL2TLB(b *testing.B) {
 func BenchmarkFig3PerfVsL2TLB(b *testing.B) {
 	tables := runExperiment(b, "F2F3")
 	b.ReportMetric(lastRowCell(tables[1], len(tables[1].Headers)-1), "geospeedup/2M")
+}
+
+// BenchmarkSweepCampaign measures the parallel sweep engine end to end:
+// a 2-app × (baseline + 2 schemes) campaign on a GOMAXPROCS worker
+// pool, in-memory (no cache) so every iteration simulates all six
+// points. runs/sec is the engine's throughput trajectory metric.
+func BenchmarkSweepCampaign(b *testing.B) {
+	spec := sweep.Spec{
+		Apps:    []string{"ATAX", "GUPS"},
+		Schemes: []string{"lds", "ic+lds"},
+		Scale:   benchOpts().Scale,
+	}
+	var campaign *sweep.Campaign
+	for i := 0; i < b.N; i++ {
+		var err error
+		campaign, err = sweep.Execute(spec, sweep.Options{Procs: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg := campaign.Aggregate()
+	for _, t := range agg.Tables() {
+		fmt.Print(t.String())
+	}
+	st := campaign.Stats
+	if st.WallMS > 0 {
+		b.ReportMetric(float64(st.Total)/(st.WallMS/1000), "runs/sec")
+	}
+	b.ReportMetric(agg.Points[0].GeomeanSpeedup["ic+lds"], "geospeedup/ic+lds")
 }

@@ -1,5 +1,6 @@
-// Command gpureach runs one application on one configuration of the
-// simulated GPU and prints the measured translation behaviour.
+// Command gpureach runs the simulated GPU: one application on one
+// configuration, or (with the sweep subcommand) a whole cached,
+// resumable campaign over the configuration matrix.
 //
 // Examples:
 //
@@ -9,6 +10,9 @@
 //	gpureach -app BICG -l2tlb 8192 -pagesize 2M
 //	gpureach -app ATAX -scheme ic+lds -chaos seed=1,rate=0.01
 //	gpureach -list
+//
+//	gpureach sweep -schemes lds,ic+lds -scale 0.1 -procs 8 -out sweep-out
+//	gpureach sweep -resume -out sweep-out   # pick up a killed campaign
 package main
 
 import (
@@ -20,65 +24,50 @@ import (
 	"gpureach/internal/chaos"
 	"gpureach/internal/check"
 	"gpureach/internal/core"
-	"gpureach/internal/vm"
 	"gpureach/internal/workloads"
 )
 
-var schemes = map[string]func() core.Scheme{
-	"baseline":       core.Baseline,
-	"lds":            core.LDSOnly,
-	"ic-1tx":         core.ICOneTx,
-	"ic-naive":       core.ICNaive,
-	"ic-aware":       core.ICAware,
-	"ic-aware+flush": core.ICAwareFlush,
-	"ic+lds":         core.Combined,
-	"ducati":         core.DucatiOnly,
-	"ic+lds+ducati":  core.CombinedDucati,
-}
-
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
+		return
+	}
+
 	app := flag.String("app", "ATAX", "workload name (see -list)")
-	scheme := flag.String("scheme", "baseline", "translation scheme: "+strings.Join(schemeNames(), ", "))
+	scheme := flag.String("scheme", "baseline", "translation scheme: "+strings.Join(core.SchemeNames(), ", "))
 	scale := flag.Float64("scale", 1.0, "footprint/instruction scale factor")
 	l2tlb := flag.Int("l2tlb", 512, "L2 TLB entries")
-	pageSize := flag.String("pagesize", "4K", "page size: 4K, 64K or 2M")
+	pageSize := flag.String("pagesize", "4K", "page size: "+strings.Join(core.PageSizeNames(), ", "))
 	chaosSpec := flag.String("chaos", "", "fault injection: seed=N,rate=R[,max=M] — deterministic shootdowns, migrations, LDS reclaims and walker stalls with live invariant checks")
-	list := flag.Bool("list", false, "list workloads and exit")
+	list := flag.Bool("list", false, "list workloads, schemes and page sizes, then exit")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("workloads (Table 2):")
-		for _, w := range workloads.All() {
-			fmt.Printf("  %-5s %-10s category=%s usesLDS=%v b2bKernels=%v\n",
-				w.Name, w.Suite, w.Category, w.UsesLDS, w.B2B)
-		}
+		printList()
 		return
 	}
 
 	w, ok := workloads.ByName(*app)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *app)
+		if _, err := core.ResolveApps([]string{*app}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(2)
 	}
-	mk, ok := schemes[*scheme]
+	s, ok := core.SchemeByName(*scheme)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q (options: %s)\n", *scheme, strings.Join(schemeNames(), ", "))
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (options: %s)\n", *scheme, strings.Join(core.SchemeNames(), ", "))
+		os.Exit(2)
+	}
+	ps, ok := core.PageSizeByName(*pageSize)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown page size %q (options: %s)\n", *pageSize, strings.Join(core.PageSizeNames(), ", "))
 		os.Exit(2)
 	}
 
-	cfg := core.DefaultConfig(mk())
+	cfg := core.DefaultConfig(s)
 	cfg.L2TLBEntries = *l2tlb
-	switch strings.ToUpper(*pageSize) {
-	case "4K":
-		cfg.PageSize = vm.Page4K
-	case "64K":
-		cfg.PageSize = vm.Page64K
-	case "2M":
-		cfg.PageSize = vm.Page2M
-	default:
-		fmt.Fprintf(os.Stderr, "unknown page size %q\n", *pageSize)
-		os.Exit(2)
-	}
+	cfg.PageSize = ps
 
 	var injector *chaos.Injector
 	sys := core.NewSystem(cfg)
@@ -121,18 +110,30 @@ func main() {
 	}
 }
 
-func schemeNames() []string {
-	names := make([]string, 0, len(schemes))
-	for n := range schemes {
-		names = append(names, n)
+// printList shows everything a sweep spec can name: the ten Table 2
+// workloads, every translation scheme, and the supported page sizes.
+func printList() {
+	fmt.Println("workloads (Table 2):")
+	for _, w := range workloads.All() {
+		fmt.Printf("  %-5s %-10s category=%s usesLDS=%v b2bKernels=%v\n",
+			w.Name, w.Suite, w.Category, w.UsesLDS, w.B2B)
 	}
-	// Stable order for help text.
-	for i := range names {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
+	fmt.Println("\nschemes (Figure 13/16 design points):")
+	desc := map[string]string{
+		"baseline":        "Table 1 system, no reconfiguration",
+		"lds":             "LDS victim store only (§4.2)",
+		"ic-1tx":          "I-cache, one translation per way (Fig 8b)",
+		"ic-naive":        "I-cache, packed lines, naive replacement",
+		"ic-aware":        "I-cache, packed lines, instruction-aware",
+		"ic-aware+flush":  "ic-aware plus kernel-boundary flush (§4.3.3)",
+		"ic+lds":          "the paper's full combined design",
+		"ducati":          "DUCATI in-memory store only (§6.3.4)",
+		"ic+lds+ducati":   "combined design composed with DUCATI",
+		"ic+lds-prefetch": "§4.1 ablation: prefetch organization",
 	}
-	return names
+	for _, name := range core.SchemeNames() {
+		fmt.Printf("  %-15s %s\n", name, desc[name])
+	}
+	fmt.Println("\npage sizes (§6.2):")
+	fmt.Printf("  %s\n", strings.Join(core.PageSizeNames(), ", "))
 }

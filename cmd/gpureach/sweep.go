@@ -1,0 +1,141 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gpureach/internal/sweep"
+)
+
+// runSweep is the `gpureach sweep` subcommand: expand a campaign
+// matrix, execute it on a worker pool with caching/journaling, and
+// write the aggregated artifacts.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("gpureach sweep", flag.ExitOnError)
+	apps := fs.String("apps", "", "comma-separated workloads (default: all ten)")
+	schemes := fs.String("schemes", "", "comma-separated schemes (default: baseline only; baseline is always included)")
+	scale := fs.Float64("scale", 1.0, "footprint/instruction scale factor")
+	l2tlb := fs.String("l2tlb", "", "comma-separated L2 TLB entry counts (default: 512)")
+	pageSizes := fs.String("pagesizes", "", "comma-separated page sizes: 4K, 64K, 2M (default: 4K)")
+	seeds := fs.String("chaos-seeds", "", "comma-separated chaos seeds (0 = fault-free; default: 0)")
+	chaosRate := fs.Float64("chaos-rate", 0.001, "chaos injections per cycle for non-zero seeds")
+	procs := fs.Int("procs", 0, "worker pool size (default: GOMAXPROCS)")
+	out := fs.String("out", "sweep-out", "campaign directory (cache/, journal.jsonl, aggregate.json/csv)")
+	resume := fs.Bool("resume", false, "resume a killed campaign from its journal")
+	retries := fs.Int("retries", 3, "max attempts per run on simulation errors")
+	bench := fs.String("bench", "BENCH_sweep.json", "perf-trajectory file to append to ('' disables)")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress lines")
+	noTables := fs.Bool("no-tables", false, "skip printing aggregate tables to stdout")
+	fs.Parse(args)
+
+	spec := sweep.Spec{Scale: *scale, ChaosRate: *chaosRate}
+	spec.Apps = splitList(*apps)
+	spec.Schemes = splitList(*schemes)
+	spec.PageSizes = splitList(*pageSizes)
+	for _, s := range splitList(*l2tlb) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			fatalf("bad -l2tlb entry %q: %v", s, err)
+		}
+		spec.L2TLB = append(spec.L2TLB, v)
+	}
+	for _, s := range splitList(*seeds) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fatalf("bad -chaos-seeds entry %q: %v", s, err)
+		}
+		spec.ChaosSeeds = append(spec.ChaosSeeds, v)
+	}
+	if err := spec.Normalize().Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
+	opts := sweep.Options{
+		Procs:       *procs,
+		OutDir:      *out,
+		Resume:      *resume,
+		MaxAttempts: *retries,
+	}
+	if !*quiet {
+		opts.Progress = func(p sweep.Progress) {
+			status := "ran"
+			switch {
+			case p.Record.Failed():
+				status = "FAILED"
+			case p.Record.Cached:
+				status = "cache"
+			case p.Record.Attempts == 0:
+				status = "journal"
+			}
+			line := fmt.Sprintf("[%d/%d] %-7s %s", p.Completed, p.Total, status, p.Record.Run)
+			if p.Record.Attempts > 1 {
+				line += fmt.Sprintf(" (attempts=%d)", p.Record.Attempts)
+			}
+			line += fmt.Sprintf("  [cache %d, journal %d, retries %d, failed %d]",
+				p.CacheHits, p.JournalHits, p.Retries, p.Failed)
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+
+	campaign, err := sweep.Execute(spec, opts)
+	if err != nil {
+		fatalf("sweep failed: %v", err)
+	}
+
+	agg := campaign.Aggregate()
+	if !*noTables {
+		for _, t := range agg.Tables() {
+			t.Render(os.Stdout)
+		}
+	}
+	jsonData, err := agg.JSON()
+	if err != nil {
+		fatalf("aggregate: %v", err)
+	}
+	csvData, err := agg.CSV()
+	if err != nil {
+		fatalf("aggregate: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "aggregate.json"), jsonData, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "aggregate.csv"), csvData, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	if *bench != "" {
+		entry := sweep.BenchEntryFor(campaign, agg, opts.Procs, "gpureach sweep")
+		if err := sweep.AppendBench(*bench, entry); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	st := campaign.Stats
+	fmt.Printf("sweep: %d runs (%d executed, %d cache hits, %d journal hits, %d retries, %d failed) in %.1fs\n",
+		st.Total, st.Executed, st.CacheHits, st.JournalHits, st.Retries, st.Failed, st.WallMS/1000)
+	fmt.Printf("sweep: artifacts in %s (aggregate.json, aggregate.csv, journal.jsonl, cache/)\n", *out)
+	if st.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

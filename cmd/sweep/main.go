@@ -42,6 +42,10 @@ func main() {
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var selected []core.Experiment
 	if *exp == "all" {

@@ -250,11 +250,16 @@ func TestExpOptionsDefaults(t *testing.T) {
 	}
 }
 
-func TestUnknownAppPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown app did not panic")
-		}
-	}()
-	ExpOptions{Apps: []string{"NOPE"}}.workloads()
+func TestUnknownAppDoesNotPanic(t *testing.T) {
+	// Unknown names are a validation error (surfaced at the CLI
+	// boundary via ExpOptions.Validate), never a panic; the experiment
+	// body runs over the resolvable subset.
+	o := ExpOptions{Apps: []string{"NOPE", "ATAX"}}
+	if err := o.Validate(); err == nil {
+		t.Error("Validate accepted unknown app")
+	}
+	ws := o.workloads()
+	if len(ws) != 1 || ws[0].Name != "ATAX" {
+		t.Errorf("workloads() = %v, want the resolvable subset [ATAX]", ws)
+	}
 }

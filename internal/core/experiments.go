@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gpureach/internal/metrics"
 	"gpureach/internal/sim"
@@ -19,20 +20,50 @@ type ExpOptions struct {
 	Apps []string
 }
 
-func (o ExpOptions) workloads() []workloads.Workload {
-	all := workloads.All()
-	if len(o.Apps) == 0 {
-		return all
+// ResolveApps maps application names to workloads. Unknown names do
+// not panic: they are reported in one error that lists the valid names,
+// so CLIs can surface it as a clean message. The returned slice holds
+// the workloads that did resolve (all ten for an empty name list).
+func ResolveApps(names []string) ([]workloads.Workload, error) {
+	if len(names) == 0 {
+		return workloads.All(), nil
 	}
 	var out []workloads.Workload
-	for _, name := range o.Apps {
+	var unknown []string
+	for _, name := range names {
 		w, ok := workloads.ByName(name)
 		if !ok {
-			panic(fmt.Sprintf("core: unknown workload %q", name))
+			unknown = append(unknown, name)
+			continue
 		}
 		out = append(out, w)
 	}
-	return out
+	if len(unknown) > 0 {
+		var valid []string
+		for _, w := range workloads.All() {
+			valid = append(valid, w.Name)
+		}
+		return out, fmt.Errorf("unknown workload(s) %s (valid: %s)",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	return out, nil
+}
+
+// Validate checks the options before an experiment runs, so harnesses
+// can reject bad app names with a clean error instead of crashing
+// mid-campaign.
+func (o ExpOptions) Validate() error {
+	_, err := ResolveApps(o.Apps)
+	return err
+}
+
+// workloads resolves o.Apps for the experiment bodies. Callers are
+// expected to have Validated the options at the harness boundary;
+// if they did not, unknown names are skipped (ResolveApps reported
+// them) and the experiment runs over the resolvable subset.
+func (o ExpOptions) workloads() []workloads.Workload {
+	ws, _ := ResolveApps(o.Apps)
+	return ws
 }
 
 func (o ExpOptions) scale() float64 {

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry is a named-metric store: an ordered set of float64 gauges
+// and counters one simulation run (or campaign stage) publishes so the
+// numbers survive the run itself — sweep journals snapshot a Registry
+// per completed run, making campaigns observable after the fact.
+//
+// A Registry is not safe for concurrent use; the sweep engine gives
+// each run its own and serializes snapshots at the journal.
+type Registry struct {
+	names []string
+	vals  map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vals: map[string]float64{}}
+}
+
+// Set records the current value of a gauge, registering the name on
+// first use.
+func (r *Registry) Set(name string, v float64) {
+	if _, ok := r.vals[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.vals[name] = v
+}
+
+// Add increments a counter (registering it at zero on first use).
+func (r *Registry) Add(name string, delta float64) {
+	if _, ok := r.vals[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.vals[name] += delta
+}
+
+// Get returns the value of a metric (0 if never set).
+func (r *Registry) Get(name string) float64 { return r.vals[name] }
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Snapshot returns a copy of the current values. encoding/json sorts
+// map keys, so marshalling a snapshot is deterministic — a property the
+// sweep determinism tests rely on.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(r.vals))
+	for k, v := range r.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// MarshalJSON serializes the registry as a plain JSON object with
+// sorted keys, so a Registry can be embedded in journal records
+// directly.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// UnmarshalJSON restores a registry from a snapshot object; names are
+// registered in sorted order (registration order is not round-tripped).
+func (r *Registry) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	r.names = r.names[:0]
+	r.vals = map[string]float64{}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r.Set(k, m[k])
+	}
+	return nil
+}
+
+// String renders "name=value" pairs in registration order, for
+// progress lines and debugging.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for i, n := range r.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%g", n, r.vals[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRegistrySetAddGet(t *testing.T) {
+	r := NewRegistry()
+	r.Set("cycles", 100)
+	r.Add("walks", 3)
+	r.Add("walks", 4)
+	r.Set("cycles", 200)
+	if got := r.Get("cycles"); got != 200 {
+		t.Fatalf("cycles = %v, want 200", got)
+	}
+	if got := r.Get("walks"); got != 7 {
+		t.Fatalf("walks = %v, want 7", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Fatalf("missing = %v, want 0", got)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "cycles" || names[1] != "walks" {
+		t.Fatalf("names = %v, want registration order [cycles walks]", names)
+	}
+}
+
+func TestRegistryJSONDeterministicAndRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Set("zeta", 1.5)
+	r.Set("alpha", 2)
+	a, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(r)
+	if string(a) != string(b) {
+		t.Fatalf("marshal not deterministic: %s vs %s", a, b)
+	}
+	if want := `{"alpha":2,"zeta":1.5}`; string(a) != want {
+		t.Fatalf("marshal = %s, want sorted %s", a, want)
+	}
+	var back Registry
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Get("zeta") != 1.5 || back.Get("alpha") != 2 || back.Len() != 2 {
+		t.Fatalf("round trip lost values: %s", back.String())
+	}
+}
+
+func TestRegistrySnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Set("x", 1)
+	snap := r.Snapshot()
+	snap["x"] = 99
+	if r.Get("x") != 1 {
+		t.Fatal("snapshot aliases registry storage")
+	}
+}

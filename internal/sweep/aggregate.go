@@ -1,0 +1,256 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"gpureach/internal/metrics"
+	"gpureach/internal/workloads"
+)
+
+// Aggregate is the campaign's deterministic summary: for every
+// sensitivity point of the matrix (scale, L2-TLB size, page size,
+// chaos seed), the Figure 13-shaped speedup table and the Figure
+// 14b-shaped normalized-page-walk table, with the paper's geomean /
+// mean bottom rows. Identical campaigns — whatever the worker count,
+// and whether results came from simulation, cache or journal — produce
+// byte-identical JSON and CSV.
+type Aggregate struct {
+	Points []Point `json:"points"`
+}
+
+// Point is one (scale, L2-TLB, page size, chaos seed) cell of the
+// sensitivity matrix with its cross-app aggregation.
+type Point struct {
+	Scale     float64 `json:"scale"`
+	L2TLB     int     `json:"l2tlb"`
+	PageSize  string  `json:"pagesize"`
+	ChaosSeed uint64  `json:"chaos_seed"`
+
+	Schemes []string `json:"schemes"`
+	Apps    []AppRow `json:"apps"`
+
+	// GeomeanSpeedup is the Figure 13b bottom row: per-scheme geometric
+	// mean speedup over baseline across all apps; the HighMedium
+	// variant restricts to the paper's High+Medium PKI categories.
+	GeomeanSpeedup           map[string]float64 `json:"geomean_speedup"`
+	GeomeanSpeedupHighMedium map[string]float64 `json:"geomean_speedup_high_medium"`
+	// MeanNormWalks is the Figure 14b bottom row: per-scheme mean page
+	// walks normalized to baseline (apps with zero baseline walks are
+	// excluded, as in the figure).
+	MeanNormWalks map[string]float64 `json:"mean_norm_walks"`
+
+	// Missing lists "app/scheme" cells without a usable record (failed
+	// runs, or a failed baseline taking its whole row) so truncated
+	// coverage is visible rather than silent.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// AppRow is one application's row at a point.
+type AppRow struct {
+	App            string             `json:"app"`
+	Category       string             `json:"category"`
+	BaselineCycles uint64             `json:"baseline_cycles"`
+	BaselineWalks  uint64             `json:"baseline_walks"`
+	Speedup        map[string]float64 `json:"speedup"`
+	NormWalks      map[string]float64 `json:"norm_walks"`
+	Digests        map[string]string  `json:"digests"`
+}
+
+type pointKey struct {
+	scale    float64
+	l2tlb    int
+	pageSize string
+	seed     uint64
+}
+
+// Aggregate reduces the campaign's records. Points appear in spec
+// order (L2-TLB × page size × seed), apps and schemes in spec order
+// within each point.
+func (c *Campaign) Aggregate() *Aggregate {
+	byKey := map[pointKey]map[string]map[string]Record{} // point → app → scheme
+	for _, rec := range c.Records {
+		if rec.Digest == "" || rec.Failed() {
+			continue
+		}
+		k := pointKey{rec.Run.Scale, rec.Run.L2TLB, rec.Run.PageSize, rec.Run.ChaosSeed}
+		if byKey[k] == nil {
+			byKey[k] = map[string]map[string]Record{}
+		}
+		if byKey[k][rec.Run.App] == nil {
+			byKey[k][rec.Run.App] = map[string]Record{}
+		}
+		byKey[k][rec.Run.App][rec.Run.Scheme] = rec
+	}
+
+	agg := &Aggregate{}
+	baseName := c.Spec.Schemes[0] // Normalize guarantees "baseline" first
+	for _, l2 := range c.Spec.L2TLB {
+		for _, ps := range c.Spec.PageSizes {
+			for _, seed := range c.Spec.ChaosSeeds {
+				k := pointKey{c.Spec.Scale, l2, ps, seed}
+				apps := byKey[k]
+				pt := Point{
+					Scale: c.Spec.Scale, L2TLB: l2, PageSize: ps, ChaosSeed: seed,
+					Schemes:                  append([]string{}, c.Spec.Schemes...),
+					GeomeanSpeedup:           map[string]float64{},
+					GeomeanSpeedupHighMedium: map[string]float64{},
+					MeanNormWalks:            map[string]float64{},
+				}
+				speedups := map[string][]float64{}
+				speedupsHM := map[string][]float64{}
+				walks := map[string][]float64{}
+				for _, app := range c.Spec.Apps {
+					schemes := apps[app]
+					base, ok := schemes[baseName]
+					if !ok {
+						pt.Missing = append(pt.Missing, app+"/"+baseName)
+						continue
+					}
+					w, _ := workloads.ByName(app)
+					row := AppRow{
+						App: app, Category: string(w.Category),
+						BaselineCycles: uint64(base.Results.Cycles),
+						BaselineWalks:  base.Results.PageWalks,
+						Speedup:        map[string]float64{},
+						NormWalks:      map[string]float64{},
+						Digests:        map[string]string{baseName: base.Digest},
+					}
+					for _, scheme := range c.Spec.Schemes {
+						if scheme == baseName {
+							continue
+						}
+						rec, ok := schemes[scheme]
+						if !ok {
+							pt.Missing = append(pt.Missing, app+"/"+scheme)
+							continue
+						}
+						sp := rec.Results.Speedup(base.Results)
+						row.Speedup[scheme] = sp
+						row.Digests[scheme] = rec.Digest
+						speedups[scheme] = append(speedups[scheme], sp)
+						if w.Category != workloads.Low {
+							speedupsHM[scheme] = append(speedupsHM[scheme], sp)
+						}
+						if base.Results.PageWalks > 0 {
+							nw := rec.Results.NormalizedWalks(base.Results)
+							row.NormWalks[scheme] = nw
+							walks[scheme] = append(walks[scheme], nw)
+						}
+					}
+					pt.Apps = append(pt.Apps, row)
+				}
+				for _, scheme := range c.Spec.Schemes {
+					if scheme == baseName {
+						continue
+					}
+					pt.GeomeanSpeedup[scheme] = metrics.Geomean(speedups[scheme])
+					pt.GeomeanSpeedupHighMedium[scheme] = metrics.Geomean(speedupsHM[scheme])
+					pt.MeanNormWalks[scheme] = metrics.Mean(walks[scheme])
+				}
+				agg.Points = append(agg.Points, pt)
+			}
+		}
+	}
+	return agg
+}
+
+// JSON renders the aggregate deterministically (maps marshal with
+// sorted keys; floats use Go's shortest round-trip formatting).
+func (a *Aggregate) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// CSV renders one row per (point, app, scheme) cell in deterministic
+// order, the flat form spreadsheet pipelines want.
+func (a *Aggregate) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write([]string{
+		"scale", "l2tlb", "pagesize", "chaos_seed",
+		"app", "category", "scheme", "digest", "speedup", "norm_walks",
+	}); err != nil {
+		return nil, err
+	}
+	for _, pt := range a.Points {
+		for _, row := range pt.Apps {
+			for _, scheme := range pt.Schemes {
+				sp, ok := row.Speedup[scheme]
+				if !ok {
+					continue
+				}
+				nw := ""
+				if v, ok := row.NormWalks[scheme]; ok {
+					nw = strconv.FormatFloat(v, 'g', -1, 64)
+				}
+				if err := w.Write([]string{
+					strconv.FormatFloat(pt.Scale, 'g', -1, 64),
+					strconv.Itoa(pt.L2TLB), pt.PageSize,
+					strconv.FormatUint(pt.ChaosSeed, 10),
+					row.App, row.Category, scheme, row.Digests[scheme],
+					strconv.FormatFloat(sp, 'g', -1, 64), nw,
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	w.Flush()
+	return buf.Bytes(), w.Error()
+}
+
+// Tables renders the aggregate as the text tables the CLI prints: per
+// point, a Figure 13-shaped speedup table and a Figure 14b-shaped
+// normalized-walk table.
+func (a *Aggregate) Tables() []*metrics.Table {
+	var out []*metrics.Table
+	for _, pt := range a.Points {
+		label := fmt.Sprintf("l2tlb=%d page=%s scale=%g", pt.L2TLB, pt.PageSize, pt.Scale)
+		if pt.ChaosSeed != 0 {
+			label += fmt.Sprintf(" chaos=%d", pt.ChaosSeed)
+		}
+		headers := []string{"app"}
+		schemes := pt.Schemes[1:] // skip baseline (identically 1.0)
+		headers = append(headers, schemes...)
+		sp := metrics.NewTable("Sweep speedup vs baseline — "+label, headers...)
+		nw := metrics.NewTable("Sweep page walks normalized to baseline — "+label, headers...)
+		for _, row := range pt.Apps {
+			spRow, nwRow := []string{row.App}, []string{row.App}
+			for _, s := range schemes {
+				if v, ok := row.Speedup[s]; ok {
+					spRow = append(spRow, metrics.F(v))
+				} else {
+					spRow = append(spRow, "-")
+				}
+				if v, ok := row.NormWalks[s]; ok {
+					nwRow = append(nwRow, metrics.F(v))
+				} else {
+					nwRow = append(nwRow, "-")
+				}
+			}
+			sp.AddRow(spRow...)
+			nw.AddRow(nwRow...)
+		}
+		geoRow, hmRow, meanRow := []string{"geomean"}, []string{"geomean-H+M"}, []string{"mean"}
+		for _, s := range schemes {
+			geoRow = append(geoRow, metrics.F(pt.GeomeanSpeedup[s]))
+			hmRow = append(hmRow, metrics.F(pt.GeomeanSpeedupHighMedium[s]))
+			meanRow = append(meanRow, metrics.F(pt.MeanNormWalks[s]))
+		}
+		sp.AddRow(geoRow...)
+		sp.AddRow(hmRow...)
+		nw.AddRow(meanRow...)
+		if len(pt.Missing) > 0 {
+			sp.AddNote("missing cells (failed or absent runs): %v", pt.Missing)
+		}
+		out = append(out, sp, nw)
+	}
+	return out
+}

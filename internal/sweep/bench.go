@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// BenchEntry is one campaign's performance sample in the BENCH_*.json
+// trajectory: enough to see throughput evolve across invocations and
+// code changes, plus the headline geomean speedups so a perf
+// regression and a results regression are both visible in one file.
+type BenchEntry struct {
+	TimestampUTC string             `json:"timestamp_utc"`
+	Label        string             `json:"label,omitempty"`
+	Procs        int                `json:"procs"`
+	Scale        float64            `json:"scale"`
+	Runs         int                `json:"runs"`
+	Executed     int                `json:"executed"`
+	CacheHits    int                `json:"cache_hits"`
+	JournalHits  int                `json:"journal_hits"`
+	Retries      int                `json:"retries"`
+	Failed       int                `json:"failed"`
+	WallMS       float64            `json:"wall_ms"`
+	RunsPerSec   float64            `json:"runs_per_sec"`
+	Geomean      map[string]float64 `json:"geomean_speedup,omitempty"`
+}
+
+// BenchEntryFor summarizes a finished campaign (with its aggregate's
+// first point carrying the geomeans).
+func BenchEntryFor(c *Campaign, agg *Aggregate, procs int, label string) BenchEntry {
+	e := BenchEntry{
+		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+		Label:        label,
+		Procs:        procs,
+		Scale:        c.Spec.Scale,
+		Runs:         c.Stats.Total,
+		Executed:     c.Stats.Executed,
+		CacheHits:    c.Stats.CacheHits,
+		JournalHits:  c.Stats.JournalHits,
+		Retries:      c.Stats.Retries,
+		Failed:       c.Stats.Failed,
+		WallMS:       c.Stats.WallMS,
+	}
+	if c.Stats.WallMS > 0 {
+		e.RunsPerSec = float64(c.Stats.Total) / (c.Stats.WallMS / 1000)
+	}
+	if agg != nil && len(agg.Points) > 0 {
+		e.Geomean = agg.Points[0].GeomeanSpeedup
+	}
+	return e
+}
+
+// AppendBench appends an entry to the JSON-array trajectory file at
+// path, creating it if needed. The file stays a valid JSON array after
+// every append.
+func AppendBench(path string, e BenchEntry) error {
+	var entries []BenchEntry
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("sweep bench: %s exists but is not a JSON entry array: %w", path, err)
+		}
+	}
+	entries = append(entries, e)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep bench: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

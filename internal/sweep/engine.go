@@ -1,0 +1,299 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"gpureach/internal/chaos"
+	"gpureach/internal/check"
+	"gpureach/internal/core"
+	"gpureach/internal/metrics"
+	"gpureach/internal/sim"
+	"gpureach/internal/workloads"
+)
+
+// Options configure a campaign execution.
+type Options struct {
+	// Procs bounds the worker pool (default GOMAXPROCS). Every
+	// simulation is single-threaded and independent, so procs=N gives
+	// near-linear wall-clock scaling while producing byte-identical
+	// aggregates to procs=1.
+	Procs int
+	// OutDir is the campaign directory: OutDir/cache holds the
+	// content-addressed results, OutDir/journal.jsonl the run log.
+	// Empty means fully in-memory (no cache, no journal) — used by
+	// tests and ad-hoc embedding.
+	OutDir string
+	// Resume keeps the existing journal and skips every run it already
+	// records as completed; without it the journal restarts (the cache
+	// still serves previously computed points).
+	Resume bool
+	// MaxAttempts bounds executions per run including retries
+	// (default 3). Only structured *sim.SimError failures are retried;
+	// anything else fails the run immediately.
+	MaxAttempts int
+	// Backoff is the base delay before a retry, doubling per attempt
+	// (default 100ms; tests set it near zero).
+	Backoff time.Duration
+	// Progress, when set, observes every completed run (executed,
+	// cached, journal-skipped or failed) with running totals. Called
+	// from worker goroutines under the engine lock — keep it fast.
+	Progress func(Progress)
+	// RunFn overrides the simulation entry point (tests inject
+	// failures and counters here). Default: ExecuteRun.
+	RunFn func(Run) (core.Results, error)
+}
+
+// Progress is one campaign progress observation.
+type Progress struct {
+	Completed   int // runs finished so far, including skips and failures
+	Total       int
+	Executed    int // actually simulated in this campaign
+	CacheHits   int
+	JournalHits int
+	Retries     int
+	Failed      int
+	Record      Record // the run that just completed
+}
+
+// Stats summarize a finished campaign.
+type Stats struct {
+	Total       int     `json:"total"`
+	Executed    int     `json:"executed"`
+	CacheHits   int     `json:"cache_hits"`
+	JournalHits int     `json:"journal_hits"`
+	Retries     int     `json:"retries"`
+	Failed      int     `json:"failed"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// Campaign is a fully executed sweep: every record in spec-expansion
+// order (independent of completion order, which is what makes the
+// downstream aggregation deterministic under parallelism), plus
+// execution statistics.
+type Campaign struct {
+	Spec    Spec
+	Records []Record
+	Stats   Stats
+}
+
+// Execute expands the spec and runs the campaign to completion.
+// Individual run failures do not abort the campaign — they are
+// journaled, counted in Stats.Failed, and excluded from aggregation;
+// infrastructure failures (unwritable cache/journal) do abort.
+func Execute(spec Spec, opts Options) (*Campaign, error) {
+	start := time.Now()
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Procs <= 0 {
+		opts.Procs = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	runFn := opts.RunFn
+	if runFn == nil {
+		runFn = ExecuteRun
+	}
+
+	runs := spec.Expand()
+	c := &Campaign{Spec: spec, Records: make([]Record, len(runs))}
+	c.Stats.Total = len(runs)
+
+	var cache *Cache
+	var journal *Journal
+	var prior map[string]Record
+	if opts.OutDir != "" {
+		var err error
+		if cache, err = OpenCache(filepath.Join(opts.OutDir, "cache")); err != nil {
+			return nil, err
+		}
+		journalPath := filepath.Join(opts.OutDir, "journal.jsonl")
+		if opts.Resume {
+			recs, err := ReadJournal(journalPath)
+			if err != nil {
+				return nil, err
+			}
+			prior = completedByDigest(recs)
+		}
+		if journal, err = OpenJournal(journalPath, opts.Resume); err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	finish := func(i int, rec Record, infraErr error) {
+		mu.Lock()
+		defer mu.Unlock()
+		c.Records[i] = rec
+		done++
+		c.Stats.Retries += len(rec.RetryErrors)
+		if rec.Failed() {
+			c.Stats.Failed++
+		}
+		if infraErr != nil && firstErr == nil {
+			firstErr = infraErr
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Completed: done, Total: c.Stats.Total,
+				Executed: c.Stats.Executed, CacheHits: c.Stats.CacheHits,
+				JournalHits: c.Stats.JournalHits, Retries: c.Stats.Retries,
+				Failed: c.Stats.Failed, Record: rec,
+			})
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run := runs[i]
+				digest := run.DigestHex()
+
+				if rec, ok := prior[digest]; ok {
+					mu.Lock()
+					c.Stats.JournalHits++
+					mu.Unlock()
+					finish(i, rec, nil)
+					continue
+				}
+				if cache != nil {
+					if rec, ok := cache.Get(digest); ok {
+						rec.Cached = true
+						rec.WallMS = 0
+						var jerr error
+						if journal != nil {
+							jerr = journal.Append(rec)
+						}
+						mu.Lock()
+						c.Stats.CacheHits++
+						mu.Unlock()
+						finish(i, rec, jerr)
+						continue
+					}
+				}
+
+				rec := executeWithRetry(run, digest, runFn, opts)
+				mu.Lock()
+				c.Stats.Executed++
+				mu.Unlock()
+				var infraErr error
+				if cache != nil && !rec.Failed() {
+					infraErr = cache.Put(rec)
+				}
+				if journal != nil {
+					if jerr := journal.Append(rec); jerr != nil && infraErr == nil {
+						infraErr = jerr
+					}
+				}
+				finish(i, rec, infraErr)
+			}
+		}()
+	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	c.Stats.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if firstErr != nil {
+		return c, firstErr
+	}
+	return c, nil
+}
+
+// executeWithRetry runs one descriptor with bounded retries. Only
+// structured simulation failures (*sim.SimError — page fault, deadlock,
+// watchdog, invariant violation) are retried, with exponential backoff;
+// every attempt's error is recorded so the journal shows the full
+// history (seed included, via the Run descriptor).
+func executeWithRetry(run Run, digest string, runFn func(Run) (core.Results, error), opts Options) Record {
+	rec := Record{Digest: digest, Run: run}
+	for attempt := 1; ; attempt++ {
+		rec.Attempts = attempt
+		start := time.Now()
+		res, err := runFn(run)
+		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		if err == nil {
+			rec.Results = res
+			rec.Metrics = resultRegistry(res)
+			rec.Err = ""
+			return rec
+		}
+		var simErr *sim.SimError
+		retryable := errors.As(err, &simErr)
+		rec.Err = err.Error()
+		if !retryable || attempt >= opts.MaxAttempts {
+			return rec
+		}
+		rec.RetryErrors = append(rec.RetryErrors, err.Error())
+		time.Sleep(opts.Backoff << (attempt - 1))
+	}
+}
+
+// ExecuteRun performs one simulation from scratch: fresh system, fresh
+// address space, optional seeded chaos injection with live invariant
+// checks. It never shares state with concurrent runs, which is what
+// makes campaign-level parallelism sound.
+func ExecuteRun(run Run) (core.Results, error) {
+	cfg, err := run.Config()
+	if err != nil {
+		return core.Results{}, err
+	}
+	w, ok := workloads.ByName(run.App)
+	if !ok {
+		return core.Results{}, fmt.Errorf("sweep: unknown workload %q", run.App)
+	}
+	sys := core.NewSystem(cfg)
+	if run.ChaosSeed != 0 && run.ChaosRate > 0 {
+		sys.Checker = check.NewChecker()
+		inj := chaos.New(sys, chaos.Config{Seed: run.ChaosSeed, Rate: run.ChaosRate})
+		inj.Arm()
+	}
+	kernels := w.Build(sys.Space, run.Scale)
+	return sys.Run(w.Name, kernels)
+}
+
+// resultRegistry snapshots a run's headline counters into a metrics
+// registry for the journal.
+func resultRegistry(r core.Results) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Set("cycles", float64(r.Cycles))
+	reg.Set("wave_instrs", float64(r.WaveInstrs))
+	reg.Set("thread_instrs", float64(r.ThreadInstrs))
+	reg.Set("kernels_run", float64(r.KernelsRun))
+	reg.Set("page_walks", float64(r.PageWalks))
+	reg.Set("l2tlb_misses", float64(r.L2TLBMisses))
+	reg.Set("ptw_pki", r.PTWPKI)
+	reg.Set("l1tlb_hit_rate", r.L1TLBHitRate)
+	reg.Set("l2tlb_hit_rate", r.L2TLBHitRate)
+	reg.Set("lds_tx_hits", float64(r.LDSTxHits))
+	reg.Set("ic_tx_hits", float64(r.ICTxHits))
+	reg.Set("victim_lookups", float64(r.VictimLookups))
+	reg.Set("ducati_hits", float64(r.DucatiHits))
+	reg.Set("dram_reads", float64(r.DRAMReads))
+	reg.Set("dram_writes", float64(r.DRAMWrites))
+	reg.Set("dram_energy_pj", r.DRAMEnergyPJ)
+	reg.Set("peak_tx_resident", float64(r.PeakTxResident))
+	reg.Set("shared_tx_fraction", r.SharedTxFraction)
+	return reg
+}

@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"gpureach/internal/core"
+	"gpureach/internal/metrics"
+)
+
+// Record is one completed (or terminally failed) run: what was asked
+// for, what came back, and how the engine got there. Records are the
+// unit of both the journal (JSONL, append-only, written after every
+// run) and the result cache (one JSON file per digest).
+type Record struct {
+	Digest string `json:"digest"`
+	Run    Run    `json:"run"`
+	// Results holds the full measurement set on success.
+	Results core.Results `json:"results"`
+	// Metrics is the per-run registry snapshot routed into the journal
+	// so campaigns are observable after the fact without re-parsing
+	// Results.
+	Metrics *metrics.Registry `json:"metrics,omitempty"`
+	// Attempts counts executions including retries (cache/journal hits
+	// keep the attempts of the original run).
+	Attempts int `json:"attempts,omitempty"`
+	// RetryErrors records the error of each failed attempt that was
+	// retried, seed and all, for post-mortems.
+	RetryErrors []string `json:"retry_errors,omitempty"`
+	// Err is set when the run failed terminally (all attempts
+	// exhausted); failed records are journaled but never cached, so a
+	// resume retries them.
+	Err string `json:"error,omitempty"`
+	// Cached marks records satisfied from the result cache rather than
+	// executed in this campaign.
+	Cached bool `json:"cached,omitempty"`
+	// WallMS is the wall-clock cost of the final attempt (0 for cache
+	// and journal hits). Excluded from every deterministic artifact.
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
+
+// Failed reports whether the record is a terminal failure.
+func (r Record) Failed() bool { return r.Err != "" }
+
+// Journal is the append-only JSONL campaign log. One record is written
+// (and flushed) after every completed run, so a killed campaign loses
+// at most the in-flight runs; ReadJournal tolerates the torn final
+// line such a kill can leave behind.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// OpenJournal opens path for appending, creating it if needed. With
+// resume=false any existing journal is truncated: the campaign starts
+// a fresh log (the result cache, not the journal, carries results
+// across campaigns).
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one record as a single JSONL line and flushes it to
+// the OS, so the line survives a kill of the campaign process.
+func (j *Journal) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(data); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReadJournal parses a journal back into records. A missing file is an
+// empty journal. Unparseable lines — the torn tail a killed campaign
+// leaves — are skipped, not fatal: resume semantics only need the runs
+// whose records made it to disk intact.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep journal: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn write from a killed campaign
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("sweep journal: %w", err)
+	}
+	return recs, nil
+}
+
+// completedByDigest indexes successful journal records for resume:
+// digest → record. Terminal failures are excluded so a resumed
+// campaign retries them.
+func completedByDigest(recs []Record) map[string]Record {
+	m := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		if !r.Failed() {
+			m[r.Digest] = r
+		}
+	}
+	return m
+}

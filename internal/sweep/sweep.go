@@ -1,0 +1,216 @@
+// Package sweep is the campaign engine: it expands a declarative
+// experiment matrix (apps × translation schemes × scale × L2-TLB sizes
+// × page sizes × chaos seeds) into run descriptors and executes them on
+// a bounded worker pool, with a content-addressed result cache, a JSONL
+// journal that makes killed campaigns resumable, retry-with-backoff for
+// structured simulation failures, and an aggregation stage that emits
+// the Figure 13/14-shaped speedup and page-walk tables.
+//
+// The paper's headline results (Figures 13–15) come from exactly such a
+// matrix — ten workloads × schemes × sensitivity points — and every run
+// is an independent, bit-deterministic simulation, so a campaign with
+// procs=N produces byte-identical aggregates to the serial campaign.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"gpureach/internal/core"
+	"gpureach/internal/workloads"
+)
+
+// Spec is the declarative campaign matrix. Empty axes mean "the
+// default": all ten apps, the baseline scheme only, scale 1.0, the
+// Table 1 512-entry L2 TLB, 4K pages, no chaos. Normalize fills the
+// defaults and guarantees the baseline scheme is present (speedups are
+// relative to it).
+type Spec struct {
+	Apps      []string `json:"apps,omitempty"`
+	Schemes   []string `json:"schemes,omitempty"`
+	Scale     float64  `json:"scale,omitempty"`
+	L2TLB     []int    `json:"l2tlb,omitempty"`
+	PageSizes []string `json:"pagesizes,omitempty"`
+	// ChaosSeeds are fault-injection seeds (§7.1 faults via
+	// internal/chaos); seed 0 means a fault-free run. ChaosRate is the
+	// expected injections per cycle for non-zero seeds.
+	ChaosSeeds []uint64 `json:"chaos_seeds,omitempty"`
+	ChaosRate  float64  `json:"chaos_rate,omitempty"`
+}
+
+// Normalize returns the spec with defaults filled in: all apps if none
+// named, the baseline scheme prepended (and deduplicated) so every
+// point has its speedup reference, scale clamped to 1.0 when unset,
+// and singleton default axes elsewhere.
+func (s Spec) Normalize() Spec {
+	n := s
+	if len(n.Apps) == 0 {
+		for _, w := range workloads.All() {
+			n.Apps = append(n.Apps, w.Name)
+		}
+	}
+	schemes := []string{core.Baseline().Name}
+	seen := map[string]bool{core.Baseline().Name: true}
+	for _, name := range n.Schemes {
+		if !seen[name] {
+			seen[name] = true
+			schemes = append(schemes, name)
+		}
+	}
+	n.Schemes = schemes
+	if n.Scale <= 0 {
+		n.Scale = 1.0
+	}
+	if len(n.L2TLB) == 0 {
+		n.L2TLB = []int{core.DefaultConfig(core.Baseline()).L2TLBEntries}
+	}
+	if len(n.PageSizes) == 0 {
+		n.PageSizes = []string{"4K"}
+	}
+	if len(n.ChaosSeeds) == 0 {
+		n.ChaosSeeds = []uint64{0}
+	}
+	return n
+}
+
+// Validate rejects unknown apps, schemes and page sizes with errors
+// that list the valid names. It expects a Normalized spec but also
+// works on a raw one.
+func (s Spec) Validate() error {
+	if _, err := core.ResolveApps(s.Apps); err != nil {
+		return fmt.Errorf("sweep spec: %w", err)
+	}
+	for _, name := range s.Schemes {
+		if _, ok := core.SchemeByName(name); !ok {
+			return fmt.Errorf("sweep spec: unknown scheme %q (valid: %s)",
+				name, strings.Join(core.SchemeNames(), ", "))
+		}
+	}
+	for _, ps := range s.PageSizes {
+		if _, ok := core.PageSizeByName(ps); !ok {
+			return fmt.Errorf("sweep spec: unknown page size %q (valid: %s)",
+				ps, strings.Join(core.PageSizeNames(), ", "))
+		}
+	}
+	for _, e := range s.L2TLB {
+		if e <= 0 {
+			return fmt.Errorf("sweep spec: non-positive L2 TLB size %d", e)
+		}
+	}
+	if s.ChaosRate < 0 {
+		return fmt.Errorf("sweep spec: negative chaos rate %g", s.ChaosRate)
+	}
+	return nil
+}
+
+// Expand enumerates the matrix into run descriptors in deterministic
+// nested order: app (outermost) × scheme × L2-TLB × page size × chaos
+// seed. Aggregation and the determinism tests rely on this order being
+// a pure function of the spec.
+func (s Spec) Expand() []Run {
+	var runs []Run
+	for _, app := range s.Apps {
+		for _, scheme := range s.Schemes {
+			for _, l2 := range s.L2TLB {
+				for _, ps := range s.PageSizes {
+					for _, seed := range s.ChaosSeeds {
+						r := Run{
+							App: app, Scheme: scheme, Scale: s.Scale,
+							L2TLB: l2, PageSize: ps, ChaosSeed: seed,
+						}
+						if seed != 0 {
+							r.ChaosRate = s.ChaosRate
+						}
+						runs = append(runs, r)
+					}
+				}
+			}
+		}
+	}
+	return runs
+}
+
+// Run is one fully-determined simulation: a point of the campaign
+// matrix. Its canonical form (and hence digest) is a content address
+// for the run's results.
+type Run struct {
+	App       string  `json:"app"`
+	Scheme    string  `json:"scheme"`
+	Scale     float64 `json:"scale"`
+	L2TLB     int     `json:"l2tlb"`
+	PageSize  string  `json:"pagesize"`
+	ChaosSeed uint64  `json:"chaos_seed,omitempty"`
+	ChaosRate float64 `json:"chaos_rate,omitempty"`
+}
+
+// Config materializes the core configuration for this run.
+func (r Run) Config() (core.Config, error) {
+	scheme, ok := core.SchemeByName(r.Scheme)
+	if !ok {
+		return core.Config{}, fmt.Errorf("sweep: unknown scheme %q", r.Scheme)
+	}
+	ps, ok := core.PageSizeByName(r.PageSize)
+	if !ok {
+		return core.Config{}, fmt.Errorf("sweep: unknown page size %q", r.PageSize)
+	}
+	cfg := core.DefaultConfig(scheme)
+	cfg.L2TLBEntries = r.L2TLB
+	cfg.PageSize = ps
+	return cfg, nil
+}
+
+// Canonical returns the canonical serialization of the complete run
+// configuration: the core config's canonical form plus the run-level
+// fields (app, scale, chaos schedule) that the config alone does not
+// capture. Equal canonical forms mean bit-identical simulations.
+func (r Run) Canonical() string {
+	var b strings.Builder
+	cfg, err := r.Config()
+	if err != nil {
+		// An unresolvable run still needs a stable identity so the
+		// failure is cacheable/journalable; embed the error itself.
+		fmt.Fprintf(&b, "invalid=%v\n", err)
+	} else {
+		b.WriteString(cfg.Canonical())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "run.App=%s\n", r.App)
+	fmt.Fprintf(&b, "run.Scale=%v\n", r.Scale)
+	fmt.Fprintf(&b, "run.ChaosSeed=%d\n", r.ChaosSeed)
+	fmt.Fprintf(&b, "run.ChaosRate=%v\n", r.ChaosRate)
+	return b.String()
+}
+
+// Digest is the FNV-1a 64-bit digest of the canonical run
+// configuration — the key of the content-addressed result cache.
+func (r Run) Digest() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(r.Canonical()))
+	return h.Sum64()
+}
+
+// DigestHex is Digest as the fixed-width hex string used for cache
+// file names and journal records.
+func (r Run) DigestHex() string { return fmt.Sprintf("%016x", r.Digest()) }
+
+// String identifies the run in progress lines.
+func (r Run) String() string {
+	s := fmt.Sprintf("%s/%s l2tlb=%d page=%s scale=%g", r.App, r.Scheme, r.L2TLB, r.PageSize, r.Scale)
+	if r.ChaosSeed != 0 {
+		s += fmt.Sprintf(" chaos=%d@%g", r.ChaosSeed, r.ChaosRate)
+	}
+	return s
+}
+
+// sortedKeys returns the sorted keys of a string-keyed float map —
+// shared by the aggregation and CSV writers for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

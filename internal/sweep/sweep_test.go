@@ -1,0 +1,380 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"gpureach/internal/core"
+	"gpureach/internal/sim"
+)
+
+// testSpec is a small but real matrix: 2 apps × (baseline + 2 schemes)
+// × 2 L2-TLB sizes at smoke scale = 12 simulations.
+func testSpec() Spec {
+	return Spec{
+		Apps:    []string{"ATAX", "SRAD"},
+		Schemes: []string{"lds", "ic+lds"},
+		Scale:   0.05,
+		L2TLB:   []int{512, 1024},
+	}
+}
+
+func TestNormalizeFillsDefaultsAndBaseline(t *testing.T) {
+	n := Spec{}.Normalize()
+	if len(n.Apps) != 10 {
+		t.Fatalf("default apps = %d, want all ten", len(n.Apps))
+	}
+	if len(n.Schemes) != 1 || n.Schemes[0] != "baseline" {
+		t.Fatalf("default schemes = %v, want [baseline]", n.Schemes)
+	}
+	n = Spec{Schemes: []string{"ic+lds", "baseline", "ic+lds"}}.Normalize()
+	if len(n.Schemes) != 2 || n.Schemes[0] != "baseline" || n.Schemes[1] != "ic+lds" {
+		t.Fatalf("schemes = %v, want baseline first and deduplicated", n.Schemes)
+	}
+	if n.Scale != 1.0 || len(n.L2TLB) != 1 || len(n.PageSizes) != 1 || len(n.ChaosSeeds) != 1 {
+		t.Fatalf("defaults not filled: %+v", n)
+	}
+}
+
+func TestValidateRejectsUnknownNames(t *testing.T) {
+	cases := []Spec{
+		{Apps: []string{"NOPE"}},
+		{Schemes: []string{"warp-drive"}},
+		{PageSizes: []string{"1G"}},
+		{L2TLB: []int{-1}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid spec %+v", i, s)
+		} else if !strings.Contains(err.Error(), "valid") && !strings.Contains(err.Error(), "non-positive") {
+			t.Errorf("case %d: error %q does not name valid options", i, err)
+		}
+	}
+	if err := testSpec().Normalize().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestExpandOrderAndDigestsAreStable(t *testing.T) {
+	runs := testSpec().Normalize().Expand()
+	if len(runs) != 2*3*2 {
+		t.Fatalf("expanded %d runs, want 12", len(runs))
+	}
+	// Digest must be a pure function of the run config: re-expansion
+	// produces identical digests, and all digests are distinct.
+	again := testSpec().Normalize().Expand()
+	seen := map[string]bool{}
+	for i := range runs {
+		if runs[i] != again[i] {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, runs[i], again[i])
+		}
+		d := runs[i].DigestHex()
+		if d != again[i].DigestHex() {
+			t.Fatalf("digest of %v not stable", runs[i])
+		}
+		if seen[d] {
+			t.Fatalf("digest collision at %v", runs[i])
+		}
+		seen[d] = true
+	}
+}
+
+func TestDigestSeparatesConfigAxes(t *testing.T) {
+	base := Run{App: "ATAX", Scheme: "baseline", Scale: 0.05, L2TLB: 512, PageSize: "4K"}
+	variants := []Run{
+		{App: "SRAD", Scheme: "baseline", Scale: 0.05, L2TLB: 512, PageSize: "4K"},
+		{App: "ATAX", Scheme: "ic+lds", Scale: 0.05, L2TLB: 512, PageSize: "4K"},
+		{App: "ATAX", Scheme: "baseline", Scale: 0.1, L2TLB: 512, PageSize: "4K"},
+		{App: "ATAX", Scheme: "baseline", Scale: 0.05, L2TLB: 1024, PageSize: "4K"},
+		{App: "ATAX", Scheme: "baseline", Scale: 0.05, L2TLB: 512, PageSize: "2M"},
+		{App: "ATAX", Scheme: "baseline", Scale: 0.05, L2TLB: 512, PageSize: "4K", ChaosSeed: 7, ChaosRate: 0.01},
+	}
+	for _, v := range variants {
+		if v.Digest() == base.Digest() {
+			t.Errorf("digest does not separate %v from %v", v, base)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the core determinism guarantee: the same
+// campaign at procs=8 and procs=1 produces identical per-run digests
+// and byte-identical aggregated JSON and CSV.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, err := Execute(testSpec(), Options{Procs: 1})
+	if err != nil {
+		t.Fatalf("serial campaign: %v", err)
+	}
+	parallel, err := Execute(testSpec(), Options{Procs: 8})
+	if err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+	if len(serial.Records) != len(parallel.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(serial.Records), len(parallel.Records))
+	}
+	for i := range serial.Records {
+		s, p := serial.Records[i], parallel.Records[i]
+		if s.Digest != p.Digest {
+			t.Errorf("record %d digest differs: %s vs %s", i, s.Digest, p.Digest)
+		}
+		if s.Results.Cycles != p.Results.Cycles || s.Results.PageWalks != p.Results.PageWalks {
+			t.Errorf("record %d results differ: %v vs %v", i, s.Results, p.Results)
+		}
+	}
+	sj, err := serial.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := parallel.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("aggregate JSON differs between procs=1 and procs=8:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+	sc, _ := serial.Aggregate().CSV()
+	pc, _ := parallel.Aggregate().CSV()
+	if !bytes.Equal(sc, pc) {
+		t.Fatalf("aggregate CSV differs between procs=1 and procs=8")
+	}
+}
+
+// TestCacheServesSecondInvocation: re-running the same campaign in the
+// same out dir must execute nothing and report 100% cache hits, and the
+// aggregates must be byte-identical to the first invocation's.
+func TestCacheServesSecondInvocation(t *testing.T) {
+	dir := t.TempDir()
+	first, err := Execute(testSpec(), Options{Procs: 4, OutDir: dir})
+	if err != nil {
+		t.Fatalf("first campaign: %v", err)
+	}
+	if first.Stats.Executed != first.Stats.Total {
+		t.Fatalf("first campaign executed %d of %d", first.Stats.Executed, first.Stats.Total)
+	}
+	second, err := Execute(testSpec(), Options{Procs: 4, OutDir: dir})
+	if err != nil {
+		t.Fatalf("second campaign: %v", err)
+	}
+	if second.Stats.Executed != 0 || second.Stats.CacheHits != second.Stats.Total {
+		t.Fatalf("second campaign not fully cached: %+v", second.Stats)
+	}
+	fj, _ := first.Aggregate().JSON()
+	sj, _ := second.Aggregate().JSON()
+	if !bytes.Equal(fj, sj) {
+		t.Fatalf("cached aggregate differs from executed aggregate")
+	}
+}
+
+// TestResumeSkipsCompletedRuns kills a journal mid-campaign (by
+// truncating it to a prefix, plus a torn final line) and verifies the
+// resumed campaign executes only the missing runs — completed ones are
+// skipped, not recomputed.
+func TestResumeSkipsCompletedRuns(t *testing.T) {
+	dir := t.TempDir()
+	full, err := Execute(testSpec(), Options{Procs: 1, OutDir: dir})
+	if err != nil {
+		t.Fatalf("full campaign: %v", err)
+	}
+	total := full.Stats.Total
+
+	// Simulate the kill: keep the first half of the journal and append
+	// a torn (half-written) record; empty the cache so resume can only
+	// lean on the journal.
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	if len(lines) != total {
+		t.Fatalf("journal has %d lines, want %d", len(lines), total)
+	}
+	keep := total / 2
+	truncated := append(bytes.Join(lines[:keep], []byte("\n")), '\n')
+	truncated = append(truncated, []byte(`{"digest":"deadbeef","run":{"app":"AT`)...)
+	if err := os.WriteFile(journalPath, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "cache")); err != nil {
+		t.Fatal(err)
+	}
+
+	var executed atomic.Int64
+	countingRun := func(r Run) (core.Results, error) {
+		executed.Add(1)
+		return ExecuteRun(r)
+	}
+	resumed, err := Execute(testSpec(), Options{Procs: 4, OutDir: dir, Resume: true, RunFn: countingRun})
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if got := int(executed.Load()); got != total-keep {
+		t.Fatalf("resume executed %d runs, want %d (journal had %d of %d)", got, total-keep, keep, total)
+	}
+	if resumed.Stats.JournalHits != keep {
+		t.Fatalf("resume reported %d journal hits, want %d", resumed.Stats.JournalHits, keep)
+	}
+	// The resumed campaign's aggregate must match the uninterrupted one.
+	fj, _ := full.Aggregate().JSON()
+	rj, _ := resumed.Aggregate().JSON()
+	if !bytes.Equal(fj, rj) {
+		t.Fatalf("resumed aggregate differs from uninterrupted aggregate")
+	}
+}
+
+// TestRetryOnSimError: structured simulation failures are retried with
+// bounded attempts; success on a later attempt yields a normal record
+// with the retry history, exhaustion yields a terminal failure that is
+// journaled but not cached.
+func TestRetryOnSimError(t *testing.T) {
+	spec := Spec{Apps: []string{"ATAX"}, Scale: 0.05}
+	var calls atomic.Int64
+	flaky := func(r Run) (core.Results, error) {
+		if calls.Add(1) < 3 {
+			return core.Results{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "injected"}
+		}
+		return ExecuteRun(r)
+	}
+	c, err := Execute(spec, Options{Procs: 1, MaxAttempts: 3, Backoff: 1, RunFn: flaky})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	rec := c.Records[0]
+	if rec.Failed() {
+		t.Fatalf("run failed despite retry budget: %v", rec.Err)
+	}
+	if rec.Attempts != 3 || len(rec.RetryErrors) != 2 {
+		t.Fatalf("attempts=%d retryErrors=%d, want 3/2", rec.Attempts, len(rec.RetryErrors))
+	}
+	if c.Stats.Retries != 2 {
+		t.Fatalf("stats retries = %d, want 2", c.Stats.Retries)
+	}
+
+	// Exhaustion: always-failing run becomes a terminal, uncached failure.
+	dir := t.TempDir()
+	calls.Store(0)
+	dead := func(r Run) (core.Results, error) {
+		calls.Add(1)
+		return core.Results{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "always"}
+	}
+	c, err = Execute(spec, Options{Procs: 1, MaxAttempts: 2, Backoff: 1, OutDir: dir, RunFn: dead})
+	if err != nil {
+		t.Fatalf("campaign infrastructure error: %v", err)
+	}
+	if c.Stats.Failed != 1 || calls.Load() != 2 {
+		t.Fatalf("failed=%d calls=%d, want 1 failure after 2 attempts", c.Stats.Failed, calls.Load())
+	}
+	if cache, _ := OpenCache(filepath.Join(dir, "cache")); cache.Len() != 0 {
+		t.Fatalf("failed run was cached")
+	}
+	// Non-SimError failures are not retried.
+	calls.Store(0)
+	hardFail := func(r Run) (core.Results, error) {
+		calls.Add(1)
+		return core.Results{}, errors.New("infrastructure broke")
+	}
+	c, _ = Execute(spec, Options{Procs: 1, MaxAttempts: 5, Backoff: 1, RunFn: hardFail})
+	if calls.Load() != 1 {
+		t.Fatalf("non-SimError was retried %d times", calls.Load())
+	}
+	if c.Stats.Failed != 1 {
+		t.Fatalf("non-SimError did not fail the run")
+	}
+}
+
+// TestFailedRunsExcludedFromAggregate: a failing scheme leaves a
+// Missing marker instead of poisoning the tables.
+func TestFailedRunsExcludedFromAggregate(t *testing.T) {
+	spec := Spec{Apps: []string{"ATAX"}, Schemes: []string{"lds"}, Scale: 0.05}
+	failLDS := func(r Run) (core.Results, error) {
+		if r.Scheme == "lds" {
+			return core.Results{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "boom"}
+		}
+		return ExecuteRun(r)
+	}
+	c, err := Execute(spec, Options{Procs: 1, MaxAttempts: 1, Backoff: 1, RunFn: failLDS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := c.Aggregate()
+	pt := agg.Points[0]
+	if len(pt.Missing) != 1 || pt.Missing[0] != "ATAX/lds" {
+		t.Fatalf("missing = %v, want [ATAX/lds]", pt.Missing)
+	}
+	if _, ok := pt.Apps[0].Speedup["lds"]; ok {
+		t.Fatalf("failed run produced a speedup cell")
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record{Digest: "0011223344556677", Run: Run{App: "ATAX", Scheme: "baseline"}}
+	if err := j.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"digest":"torn`)
+	f.Close()
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Digest != want.Digest {
+		t.Fatalf("ReadJournal = %+v, want the one intact record", recs)
+	}
+}
+
+// TestAggregateMatchesExperimentHarness cross-checks the sweep path
+// against the existing experiment harness: the speedup the campaign
+// computes for an app/scheme must equal the one core.Run reports
+// directly.
+func TestAggregateMatchesExperimentHarness(t *testing.T) {
+	spec := Spec{Apps: []string{"ATAX"}, Schemes: []string{"ic+lds"}, Scale: 0.05}
+	c, err := Execute(spec, Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := c.Aggregate()
+	got := agg.Points[0].Apps[0].Speedup["ic+lds"]
+
+	w, _ := core.ResolveApps([]string{"ATAX"})
+	base := core.MustRun(core.DefaultConfig(core.Baseline()), w[0], 0.05)
+	comb := core.MustRun(core.DefaultConfig(core.Combined()), w[0], 0.05)
+	want := comb.Speedup(base)
+	if got != want {
+		t.Fatalf("sweep speedup %v != direct speedup %v", got, want)
+	}
+}
+
+func TestBenchTrajectoryAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	for i := 0; i < 3; i++ {
+		e := BenchEntry{TimestampUTC: fmt.Sprintf("t%d", i), Runs: i}
+		if err := AppendBench(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(data, []byte("timestamp_utc")); got != 3 {
+		t.Fatalf("trajectory has %d entries, want 3", got)
+	}
+}
