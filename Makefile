@@ -2,6 +2,7 @@
 #
 #   make tier1        build + full unit tests — the gate every change must pass
 #   make tier2        tier1 plus static analysis and a race-detector sweep
+#   make lint         go vet + gofmt + the repo's own analyzers (cmd/gpureachvet)
 #   make bench        regenerate the paper's figures/tables (slow; see bench_test.go)
 #   make sweep-smoke  fast end-to-end campaign: 2 apps × 2 schemes on the
 #                     parallel sweep engine, with cache/journal/aggregates
@@ -10,7 +11,7 @@ GO ?= go
 
 .DEFAULT_GOAL := tier1
 
-.PHONY: tier1 tier2 bench sweep-smoke
+.PHONY: tier1 tier2 lint bench sweep-smoke
 
 tier1:
 	$(GO) build ./...
@@ -19,6 +20,12 @@ tier1:
 tier2: tier1
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) run ./cmd/gpureachvet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem

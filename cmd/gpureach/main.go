@@ -13,6 +13,9 @@
 //
 //	gpureach sweep -schemes lds,ic+lds -scale 0.1 -procs 8 -out sweep-out
 //	gpureach sweep -resume -out sweep-out   # pick up a killed campaign
+//
+//	gpureach exp -list                      # paper tables/figures by ID
+//	gpureach exp -exp F13b -scale 0.25
 package main
 
 import (
@@ -23,14 +26,20 @@ import (
 
 	"gpureach/internal/chaos"
 	"gpureach/internal/check"
+	"gpureach/internal/cli"
 	"gpureach/internal/core"
 	"gpureach/internal/workloads"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		runSweep(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			runSweep(os.Args[2:])
+			return
+		case "exp":
+			os.Exit(cli.RunExp(os.Args[2:], os.Stdout, os.Stderr))
+		}
 	}
 
 	app := flag.String("app", "ATAX", "workload name (see -list)")

@@ -1,0 +1,143 @@
+// Command gpureachvet runs the repo's determinism lint suite
+// (internal/analysis) over the module: stdlib-only static analyzers
+// that make the simulator's invariants unwritable instead of merely
+// untested — no wall clock or ambient randomness in simulation
+// packages (detclock), no order-dependent output from map iteration
+// (maporder), no raw panics outside the structured-error convention
+// (simerr), no events scheduled behind the engine clock (schedguard),
+// and no order-dependent float accumulation (floatorder).
+//
+// Usage:
+//
+//	gpureachvet              # analyze ./...
+//	gpureachvet ./...        # same
+//	gpureachvet ./internal/sweep gpureach/internal/core
+//	gpureachvet -list        # describe the analyzers and exit
+//
+// Diagnostics print as file:line:col: message [analyzer]; the exit
+// status is 1 when any diagnostic survives //gpureach:allow filtering,
+// 2 on usage or load errors. Intentional violations are silenced in
+// place:
+//
+//	//gpureach:allow <analyzer>[,<analyzer>...] -- <justification>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpureach/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("gpureachvet", flag.ExitOnError)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	fs.Parse(args)
+
+	suite := analysis.DefaultSuite()
+	if *only != "" {
+		suite = filterSuite(suite, *only)
+		if len(suite.Rules) == 0 {
+			fmt.Fprintf(os.Stderr, "gpureachvet: no analyzer matches %q\n", *only)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpureachvet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpureachvet:", err)
+		return 2
+	}
+
+	paths, err := resolvePatterns(loader, cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpureachvet:", err)
+		return 2
+	}
+
+	diags, err := suite.Run(loader, paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpureachvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, rerr := filepath.Rel(cwd, pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gpureachvet: %d diagnostic(s) across %d package(s)\n", len(diags), len(paths))
+		return 1
+	}
+	return 0
+}
+
+// resolvePatterns turns command-line package patterns into import
+// paths: "" and "./..." expand to every module-local package, "./x"
+// resolves relative to cwd, and anything else is taken as an import
+// path verbatim.
+func resolvePatterns(loader *analysis.Loader, cwd string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var paths []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LocalPackages()
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, all...)
+		case strings.HasPrefix(pat, "./") || pat == ".":
+			abs := filepath.Join(cwd, pat)
+			rel, err := filepath.Rel(loader.ModuleRoot(), abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("package %s is outside module %s", pat, loader.ModuleRoot())
+			}
+			if rel == "." {
+				paths = append(paths, loader.ModulePath())
+			} else {
+				paths = append(paths, loader.ModulePath()+"/"+filepath.ToSlash(rel))
+			}
+		default:
+			paths = append(paths, pat)
+		}
+	}
+	return paths, nil
+}
+
+func filterSuite(s *analysis.Suite, spec string) *analysis.Suite {
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	out := &analysis.Suite{}
+	for _, r := range s.Rules {
+		if want[r.Analyzer.Name] {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	return out
+}

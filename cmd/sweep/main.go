@@ -1,72 +1,19 @@
-// Command sweep regenerates the paper's tables and figures. Each
-// experiment is identified by the paper artifact it reproduces (see
-// DESIGN.md's per-experiment index).
+// Command sweep is the deprecated spelling of `gpureach exp`. It
+// remains as a thin shim so existing scripts keep working; the real
+// implementation lives in internal/cli, shared with the gpureach
+// binary's exp subcommand.
 //
-// Examples:
-//
-//	sweep -list                     # show available experiments
-//	sweep -exp F13b                 # the headline Figure 13b
-//	sweep -exp T2 -apps ATAX,SRAD   # restrict the app set
-//	sweep -exp all -scale 0.25      # everything, fast and small
+// Deprecated: use `gpureach exp` instead.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"strings"
-	"time"
 
-	"gpureach/internal/core"
+	"gpureach/internal/cli"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment ID (see -list), or 'all'")
-	scale := flag.Float64("scale", 1.0, "footprint/instruction scale factor")
-	apps := flag.String("apps", "", "comma-separated workload subset (default: all ten)")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
-
-	if *list || *exp == "" {
-		fmt.Println("experiments:")
-		for _, e := range core.Experiments() {
-			fmt.Printf("  %-5s %s\n", e.ID, e.Title)
-		}
-		if *exp == "" && !*list {
-			os.Exit(2)
-		}
-		return
-	}
-
-	opts := core.ExpOptions{Scale: *scale}
-	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
-	}
-	if err := opts.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	var selected []core.Experiment
-	if *exp == "all" {
-		selected = core.Experiments()
-	} else {
-		for _, id := range strings.Split(*exp, ",") {
-			e, ok := core.ExperimentByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
-			}
-			selected = append(selected, e)
-		}
-	}
-
-	for _, e := range selected {
-		start := time.Now()
-		tables := e.Run(opts)
-		for _, t := range tables {
-			t.Render(os.Stdout)
-		}
-		fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	}
+	fmt.Fprintln(os.Stderr, "sweep: deprecated; use `gpureach exp` (same flags)")
+	os.Exit(cli.RunExp(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. Full syntax:
+//
+//	//gpureach:allow analyzer[,analyzer...] [-- justification]
+//
+// The directive silences the named analyzers on the line it occupies
+// and, when it stands alone, on the line directly below it — the two
+// places a reviewer's eye lands when reading the offending statement.
+const allowPrefix = "//gpureach:allow"
+
+// allowIndex records, per file and line, which analyzers are allowed.
+type allowIndex map[string]map[int]map[string]bool // filename → line → analyzer → allowed
+
+// buildAllowIndex scans every comment in the files for allow
+// directives. Directives with an empty analyzer list are ignored:
+// a blanket "allow everything" is not a thing.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	add := func(pos token.Position, analyzer string) {
+		byLine := idx[pos.Filename]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			idx[pos.Filename] = byLine
+		}
+		set := byLine[pos.Line]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[pos.Line] = set
+		}
+		set[analyzer] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				// Require a space (or end) after the directive so
+				// "//gpureach:allowother" never matches.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				spec := strings.TrimSpace(rest)
+				if cut := strings.Index(spec, "--"); cut >= 0 {
+					spec = strings.TrimSpace(spec[:cut])
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(spec, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						add(pos, name)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a diagnostic is suppressed by a directive on
+// its own line or the line directly above.
+func (idx allowIndex) allowed(d Diagnostic) bool {
+	byLine := idx[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if set := byLine[line]; set != nil && set[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// filterAllowed drops the diagnostics suppressed by directives in the
+// given files.
+func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	idx := buildAllowIndex(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.allowed(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,173 @@
+// Package analysis is a stdlib-only static-analysis framework (go/parser
+// + go/ast + go/types + a source importer — no x/tools, per the repo's
+// no-external-dependency constraint) that enforces the simulator's
+// determinism contracts at compile time rather than by sampling:
+//
+//   - detclock:   no wall clock / ambient randomness in simulation packages
+//   - maporder:   no order-dependent output built from map iteration
+//   - simerr:     no raw panics outside the sanctioned structured-error sites
+//   - schedguard: no engine events scheduled at times that may lie in the past
+//   - floatorder: no order-dependent float accumulation
+//
+// Each rule exists because a test tier already depends on it: seeded
+// chaos schedules digest to a stable FNV-1a value (PR 1), sweep
+// aggregates are byte-identical at any worker count (PR 2), and the
+// DESIGN.md §5 invariants back the paper's Figure 13–15 tables. The
+// analyzers make the corresponding bug classes unwritable instead of
+// merely untested.
+//
+// Violations that are intentional are silenced in place with a
+// directive comment on the offending line or the line directly above:
+//
+//	//gpureach:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// The justification is mandatory by convention (reviewers reject bare
+// allows) but not enforced mechanically.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package via its Pass and reports diagnostics through Pass.Reportf.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and in
+	// //gpureach:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// Pass carries everything an analyzer needs to inspect one package:
+// the parsed files, the type-checked package and info, and sinks for
+// diagnostics and cross-package facts.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// facts is shared across every pass of a Suite run, letting an
+	// analyzer export knowledge about exported objects (e.g. "this
+	// function's second result is always ≥ the engine clock") that
+	// passes over downstream packages consume. Keyed by canonical
+	// types.Object, which the shared loader guarantees is identical
+	// across packages.
+	facts *factStore
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation, positioned for file:line:col
+// display and carrying the analyzer name for allow-directive matching.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Fact is an arbitrary value an analyzer attaches to a types.Object in
+// one package and reads back when analyzing its importers. Facts are
+// scoped to a single Suite run.
+type Fact interface{}
+
+type factKey struct {
+	obj      types.Object
+	analyzer string
+}
+
+type factStore struct{ m map[factKey]Fact }
+
+func newFactStore() *factStore { return &factStore{m: map[factKey]Fact{}} }
+
+// SetFact attaches a fact to obj under this pass's analyzer.
+func (p *Pass) SetFact(obj types.Object, f Fact) {
+	if obj == nil {
+		return
+	}
+	p.facts.m[factKey{obj, p.Analyzer.Name}] = f
+}
+
+// FactOf returns the fact previously attached to obj by this pass's
+// analyzer (in this package or any already-analyzed dependency).
+func (p *Pass) FactOf(obj types.Object) (Fact, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	f, ok := p.facts.m[factKey{obj, p.Analyzer.Name}]
+	return f, ok
+}
+
+// sortDiagnostics orders diagnostics by position for stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// calleeFunc resolves the called function object of a call expression,
+// looking through parenthesization. It returns nil for calls to
+// builtins, function-typed variables and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// enclosingFuncName returns the name of the innermost function
+// declaration enclosing pos in file, or "" when pos sits outside any
+// named function (package-level vars, function literals at top level).
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	name := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if fd.Pos() <= pos && pos <= fd.End() {
+				name = fd.Name.Name
+			}
+		}
+		return true
+	})
+	return name
+}

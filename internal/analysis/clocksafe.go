@@ -1,0 +1,486 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the "clock-safe" dataflow used by schedguard: a
+// syntactic abstract interpretation that proves a sim.Time expression
+// evaluates to a value ≥ the engine's current clock, so scheduling an
+// event at it can never trip the engine's past-scheduling panic.
+//
+// An expression is clock-safe when it is
+//
+//   - a call to (sim.Engine).Now (or the engine's own `now` field,
+//     inside package sim),
+//   - a call to a function whose corresponding result carries a
+//     clockSafeFact (inferred bottom-up: sim.Port.Acquire,
+//     icache.TxLookup's third result, ...),
+//   - safe + anything (sim.Time is unsigned; addition never moves a
+//     value behind the clock),
+//   - the builtin max(...) with at least one safe argument, or
+//   - a variable whose every reaching assignment is safe, including
+//     the clamp idioms `if t < e.Now() { t = e.Now() }` and branch
+//     refinement from comparisons against safe values
+//     (`if deadline > e.Now() { e.At(deadline, ...) }`).
+//
+// The analysis is per-function, flow-sensitive and deliberately
+// conservative: what it cannot prove safe must either be rewritten
+// into one of the idioms above or carry a //gpureach:allow schedguard
+// directive with a justification.
+
+// simEnginePkg is the import path of the engine package; the Engine
+// type and its Now/At methods anchor the whole analysis.
+const simEnginePkg = "gpureach/internal/sim"
+
+// clockSafeFact marks which results of a function are provably ≥ the
+// engine clock at return time. Bit i covers result i.
+type clockSafeFact struct{ results uint64 }
+
+// isEngineType reports whether t (possibly a pointer) is
+// sim.Engine.
+func isEngineType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil && obj.Pkg().Path() == simEnginePkg
+}
+
+// isEngineMethodCall reports whether call invokes the named method on
+// a sim.Engine receiver.
+func isEngineMethodCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isEngineType(sig.Recv().Type())
+}
+
+// safety is the per-function abstract state: the set of expressions
+// (canonicalized with types.ExprString) currently known clock-safe.
+type safety struct {
+	pass *Pass
+	safe map[string]bool
+}
+
+func newSafety(pass *Pass) *safety {
+	return &safety{pass: pass, safe: map[string]bool{}}
+}
+
+func (s *safety) clone() *safety {
+	c := &safety{pass: s.pass, safe: make(map[string]bool, len(s.safe))}
+	for k := range s.safe {
+		c.safe[k] = true
+	}
+	return c
+}
+
+// intersect keeps only the expressions safe in both states.
+func (s *safety) intersect(o *safety) {
+	for k := range s.safe {
+		if !o.safe[k] {
+			delete(s.safe, k)
+		}
+	}
+}
+
+func (s *safety) mark(e ast.Expr)   { s.safe[types.ExprString(ast.Unparen(e))] = true }
+func (s *safety) unmark(e ast.Expr) { delete(s.safe, types.ExprString(ast.Unparen(e))) }
+
+// eval reports whether e is clock-safe in the current state.
+func (s *safety) eval(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if isEngineMethodCall(s.pass.Info, x, "Now") {
+			return true
+		}
+		// max(a, b, ...) is safe when any argument is.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := s.pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "max" {
+				for _, arg := range x.Args {
+					if s.eval(arg) {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		if f := calleeFunc(s.pass.Info, x); f != nil {
+			if fact, ok := s.pass.FactOf(f); ok {
+				// Single-valued use of the call: result 0.
+				return fact.(clockSafeFact).results&1 != 0
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return s.eval(x.X) || s.eval(x.Y)
+		}
+		return false
+	case *ast.SelectorExpr:
+		// The engine's own clock field, for analyses inside package sim.
+		if x.Sel.Name == "now" {
+			if tv, ok := s.pass.Info.Types[x.X]; ok && isEngineType(tv.Type) {
+				return true
+			}
+		}
+		return s.safe[types.ExprString(e)]
+	case *ast.Ident:
+		return s.safe[types.ExprString(e)]
+	default:
+		return false
+	}
+}
+
+// assign records the effect of `lhs = rhs`.
+func (s *safety) assign(lhs, rhs ast.Expr) {
+	if s.eval(rhs) {
+		s.mark(lhs)
+	} else {
+		s.unmark(lhs)
+	}
+}
+
+// applyAssignStmt transfers an assignment statement into the state,
+// including per-result facts for multi-value call assignments.
+func (s *safety) applyAssignStmt(a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(a.Lhs) > 1 && len(a.Rhs) == 1 {
+			// x, y, z := call(...): pull per-result safety from the fact.
+			var mask uint64
+			if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+				if f := calleeFunc(s.pass.Info, call); f != nil {
+					if fact, ok := s.pass.FactOf(f); ok {
+						mask = fact.(clockSafeFact).results
+					}
+				}
+			}
+			for i, l := range a.Lhs {
+				if mask&(1<<uint(i)) != 0 {
+					s.mark(l)
+				} else {
+					s.unmark(l)
+				}
+			}
+			return
+		}
+		for i := range a.Lhs {
+			if i < len(a.Rhs) {
+				s.assign(a.Lhs[i], a.Rhs[i])
+			}
+		}
+	case token.ADD_ASSIGN:
+		// x += d keeps x safe: sim.Time is unsigned, addition only
+		// moves forward.
+	default:
+		for _, l := range a.Lhs {
+			s.unmark(l)
+		}
+	}
+}
+
+// refine returns the expressions additionally known safe when cond is
+// true (thenExtra) or false (elseExtra): comparing X against a safe
+// bound proves X safe on the matching side.
+func (s *safety) refine(cond ast.Expr) (thenExtra, elseExtra []ast.Expr) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	switch b.Op {
+	case token.GTR, token.GEQ: // X > S → then: X safe;  S > X → else: X safe
+		if s.eval(b.Y) {
+			thenExtra = append(thenExtra, b.X)
+		}
+		if s.eval(b.X) {
+			elseExtra = append(elseExtra, b.Y)
+		}
+	case token.LSS, token.LEQ: // X < S → else: X safe;  S < X → then: X safe
+		if s.eval(b.Y) {
+			elseExtra = append(elseExtra, b.X)
+		}
+		if s.eval(b.X) {
+			thenExtra = append(thenExtra, b.Y)
+		}
+	}
+	return thenExtra, elseExtra
+}
+
+// terminates reports whether a statement list always transfers control
+// out of the enclosing block (return, panic/Failf call, or
+// branch statement) — in which case its out-state never merges back.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				return fun.Sel.Name == "Failf"
+			}
+		}
+	}
+	return false
+}
+
+// assignedIn collects the canonical strings of every expression
+// assigned (or ++/--'d) anywhere under the given statements, so loop
+// bodies can be analyzed without trusting pre-loop facts about
+// variables the loop mutates.
+func assignedIn(stmts []ast.Stmt) map[string]bool {
+	out := map[string]bool{}
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if x.Tok != token.ADD_ASSIGN { // += preserves safety
+					for _, l := range x.Lhs {
+						out[types.ExprString(ast.Unparen(l))] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if x.Tok == token.DEC {
+					out[types.ExprString(ast.Unparen(x.X))] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// walker runs the abstract interpretation over a function body,
+// invoking onNode for every non-closure node with the state current at
+// that point, and accumulating the safety of every return statement's
+// results.
+type walker struct {
+	s *safety
+	// onAt is called for each (sim.Engine).At call with the state in
+	// force; nil during pure fact inference.
+	onAt func(call *ast.CallExpr, st *safety)
+	// retMask accumulates, per result index, whether every return seen
+	// so far was safe; retSeen marks whether any return occurred.
+	retMask uint64
+	retSeen bool
+	// onFuncLit is called for nested function literals so the caller
+	// can analyze them with a fresh state.
+	onFuncLit func(*ast.FuncLit)
+}
+
+func (w *walker) walkStmts(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		w.walkStmt(st)
+	}
+}
+
+// scanExprs visits every expression in the subtree (outside nested
+// function literals), reporting At calls against the current state.
+func (w *walker) scanExprs(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			if w.onFuncLit != nil {
+				w.onFuncLit(e)
+			}
+			return false
+		case *ast.CallExpr:
+			if w.onAt != nil && isEngineMethodCall(w.s.pass.Info, e, "At") && len(e.Args) >= 1 {
+				w.onAt(e, w.s)
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) walkStmt(st ast.Stmt) {
+	switch x := st.(type) {
+	case *ast.AssignStmt:
+		w.scanExprs(x)
+		w.s.applyAssignStmt(x)
+	case *ast.IncDecStmt:
+		w.scanExprs(x)
+		if x.Tok == token.DEC {
+			w.s.unmark(x.X)
+		}
+	case *ast.DeclStmt:
+		w.scanExprs(x)
+	case *ast.ExprStmt:
+		w.scanExprs(x)
+	case *ast.ReturnStmt:
+		w.scanExprs(x)
+		w.retSeen = true
+		var mask uint64
+		for i, r := range x.Results {
+			if i < 64 && w.s.eval(r) {
+				mask |= 1 << uint(i)
+			}
+		}
+		w.retMask &= mask
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.scanExprs(x.Cond)
+		thenExtra, elseExtra := w.s.refine(x.Cond)
+
+		base := w.s.clone()
+		for _, e := range thenExtra {
+			w.s.mark(e)
+		}
+		w.walkStmts(x.Body.List)
+		thenOut := w.s
+
+		w.s = base.clone()
+		for _, e := range elseExtra {
+			w.s.mark(e)
+		}
+		switch els := x.Else.(type) {
+		case *ast.BlockStmt:
+			w.walkStmts(els.List)
+		case ast.Stmt:
+			w.walkStmt(els)
+		}
+		elseOut := w.s
+
+		// Merge: a branch that always exits contributes nothing.
+		switch {
+		case terminates(x.Body.List) && x.Else == nil:
+			w.s = elseOut
+		case x.Else != nil && terminates(x.Body.List):
+			w.s = elseOut
+		case x.Else != nil && elseTerminates(x.Else):
+			w.s = thenOut
+		default:
+			thenOut.intersect(elseOut)
+			w.s = thenOut
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.scanExprs(x.Cond)
+		w.dropAssigned(x.Body.List)
+		w.walkStmts(x.Body.List)
+		if x.Post != nil {
+			w.walkStmt(x.Post)
+		}
+		w.dropAssigned(x.Body.List)
+	case *ast.RangeStmt:
+		w.scanExprs(x.X)
+		w.dropAssigned(x.Body.List)
+		if x.Key != nil {
+			w.s.unmark(x.Key)
+		}
+		if x.Value != nil {
+			w.s.unmark(x.Value)
+		}
+		w.walkStmts(x.Body.List)
+		w.dropAssigned(x.Body.List)
+	case *ast.BlockStmt:
+		w.walkStmts(x.List)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.scanExprs(x.Tag)
+		w.walkCases(x.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkCases(x.Body)
+	case *ast.SelectStmt:
+		w.walkCases(x.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt)
+	case *ast.DeferStmt:
+		w.scanExprs(x)
+	case *ast.GoStmt:
+		w.scanExprs(x)
+	default:
+		w.scanExprs(st)
+	}
+}
+
+// walkCases analyzes each case clause on a clone of the current state
+// and merges by intersection (plus the fall-through original, since a
+// switch may match nothing).
+func (w *walker) walkCases(body *ast.BlockStmt) {
+	base := w.s.clone()
+	out := base.clone()
+	for _, cl := range body.List {
+		w.s = base.clone()
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExprs(e)
+			}
+			w.walkStmts(c.Body)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm)
+			}
+			w.walkStmts(c.Body)
+		}
+		out.intersect(w.s)
+	}
+	w.s = out
+}
+
+func (w *walker) dropAssigned(stmts []ast.Stmt) {
+	for k := range assignedIn(stmts) {
+		delete(w.s.safe, k)
+	}
+}
+
+func elseTerminates(els ast.Stmt) bool {
+	if b, ok := els.(*ast.BlockStmt); ok {
+		return terminates(b.List)
+	}
+	return terminates([]ast.Stmt{els})
+}
+
+// inferClockSafe computes the clockSafeFact for one function
+// declaration, or (0, false) when nothing can be proven.
+func inferClockSafe(pass *Pass, fd *ast.FuncDecl) (clockSafeFact, bool) {
+	if fd.Body == nil || fd.Type.Results == nil {
+		return clockSafeFact{}, false
+	}
+	nres := fd.Type.Results.NumFields()
+	if nres == 0 || nres > 64 {
+		return clockSafeFact{}, false
+	}
+	// (sim.Engine).Now is axiomatically safe: it IS the clock.
+	if fd.Recv != nil && fd.Name.Name == "Now" && pass.Pkg.Path() == simEnginePkg {
+		return clockSafeFact{results: 1}, true
+	}
+	w := &walker{s: newSafety(pass), retMask: ^uint64(0)}
+	w.walkStmts(fd.Body.List)
+	if !w.retSeen || w.retMask == 0 {
+		return clockSafeFact{}, false
+	}
+	return clockSafeFact{results: w.retMask}, true
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetClock reports wall-clock and ambient-randomness use in simulation
+// packages: time.Now/Since/Until/Sleep/After/Tick/NewTimer/NewTicker
+// and every package-level math/rand (or math/rand/v2) function.
+//
+// Simulation time must come from the engine clock (sim.Engine.Now) and
+// randomness from an explicitly seeded generator (sim.Rand, or a
+// *rand.Rand constructed from a seed that is part of the run's
+// canonical config) — a single stray time.Now() in a timing model
+// makes a 100-run campaign silently diverge between invocations, the
+// exact failure class the sweep engine's byte-identical-aggregate
+// guarantee exists to prevent. Wall-clock reads are legitimate only
+// for progress and bench reporting, which live outside the simulation
+// packages this analyzer is scoped to (see DefaultSuite).
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc:  "forbid time.Now and ambient math/rand in simulation packages; sim time comes from the engine clock",
+	Run:  runDetClock,
+}
+
+// detClockTimeFuncs are the time package functions that read or depend
+// on the wall clock (time.Duration arithmetic and formatting are fine).
+var detClockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runDetClock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on an explicitly
+			// constructed (hence explicitly seeded) rand.Rand, or on
+			// time.Duration values, are deterministic.
+			if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch f.Pkg().Path() {
+			case "time":
+				if detClockTimeFuncs[f.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock in a simulation package; derive time from the engine clock (sim.Engine.Now)", f.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the ambient random source; use a seeded sim.Rand so runs stay bit-reproducible", f.Pkg().Name(), f.Name())
+			}
+			return true
+		})
+	}
+}

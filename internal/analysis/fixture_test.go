@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation pattern from a `// want "..."`
+// comment at the end of a fixture line.
+var wantRe = regexp.MustCompile(`//\s*want "(.*)"`)
+
+// expectation is one `// want` comment: a diagnostic must appear on
+// this exact file:line with a message matching the pattern.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants scans the fixture package directory for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, rerr := regexp.Compile(m[1])
+			if rerr != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", e.Name(), line, rerr)
+			}
+			wants = append(wants, &expectation{file: e.Name(), line: line, re: re})
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// TestFixtures runs the full suite, unscoped, over each fixture
+// package in testdata and checks the produced diagnostics against the
+// `// want` comments: every want must fire, nothing else may.
+func TestFixtures(t *testing.T) {
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", e.Name())
+			l, err := NewLoader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := DefaultSuite().RunDir(l, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, dir)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want comments: every analyzer fixture needs at least one firing case", e.Name())
+			}
+			for _, d := range diags {
+				if !matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+					t.Errorf("unexpected diagnostic %s:%d: %s [%s]",
+						filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// matchWant marks and reports the first unhit expectation matching the
+// diagnostic's position and message.
+func matchWant(wants []*expectation, filename string, line int, msg string) bool {
+	base := filepath.Base(filename)
+	for _, w := range wants {
+		if !w.hit && w.file == base && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestFixtureAnalyzerCoverage asserts every analyzer in the default
+// suite has a fixture directory named after it, so a new analyzer
+// cannot ship untested.
+func TestFixtureAnalyzerCoverage(t *testing.T) {
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, e := range ents {
+		if e.IsDir() {
+			have[e.Name()] = true
+		}
+	}
+	var missing []string
+	for _, a := range DefaultSuite().Analyzers() {
+		if !have[a.Name] {
+			missing = append(missing, a.Name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Fatalf("analyzers without a testdata fixture package: %s",
+			strings.Join(missing, ", "))
+	}
+}
+
+// TestAllowDirectiveScopesToAnalyzer checks a directive only silences
+// the analyzers it names: an allow for a different analyzer must not
+// swallow the diagnostic.
+func TestAllowDirectiveScopesToAnalyzer(t *testing.T) {
+	// The fixture must live inside the module for LoadDir, so build it
+	// under testdata at runtime (the _ prefix keeps it out of ./...).
+	dir := filepath.Join("testdata", "_allowscope")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	src := `package allowscope
+
+import "time"
+
+func f() time.Time {
+	//gpureach:allow maporder -- names the wrong analyzer on purpose
+	return time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := DefaultSuite().RunDir(l, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "detclock" {
+		t.Fatalf("want exactly one detclock diagnostic surviving a maporder-only allow, got %v",
+			fmt.Sprint(diags))
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder reports float accumulation whose result depends on
+// iteration or completion order: compound float assignments inside a
+// map-range body, and float accumulation inside goroutines launched
+// from a loop. Floating-point addition and multiplication are not
+// associative — (a+b)+c ≠ a+(b+c) in the last bits — so a sum folded
+// in Go's randomized map order, or in whatever order a worker pool
+// finishes, produces a different geomean / geomean-H+M / mean row on
+// every invocation. The sweep engine's byte-identical-aggregate
+// guarantee (and its procs=1 vs procs=8 regression test) exists
+// precisely because every such reduction must happen over a
+// deterministically ordered slice on one goroutine.
+//
+// Integer accumulation is exempt: integer addition is associative and
+// commutative, so order cannot change the result.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "forbid order-dependent float accumulation (map ranges, goroutine-joined loops)",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if isMapRange(pass.Info, x) {
+					reportFloatAccum(pass, x.Body, x, "map range",
+						"iterate a sorted key slice instead")
+				}
+			case *ast.ForStmt:
+				checkGoroutineAccum(pass, x, x.Body)
+			}
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				checkGoroutineAccum(pass, rng, rng.Body)
+			}
+			return true
+		})
+	}
+}
+
+// reportFloatAccum flags compound float assignments under body whose
+// target is declared outside scope.
+func reportFloatAccum(pass *Pass, body *ast.BlockStmt, scope ast.Node, where, fix string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // goroutine bodies are the other check's domain
+		}
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			if !isFloatExpr(pass.Info, lhs) || declaredInside(pass.Info, lhs, scope) {
+				continue
+			}
+			if isAccumulation(a, i, lhs) {
+				pass.Reportf(a.Pos(),
+					"float accumulation into %s inside a %s is order-dependent (float addition is not associative); %s",
+					types.ExprString(ast.Unparen(lhs)), where, fix)
+			}
+		}
+		return true
+	})
+}
+
+// checkGoroutineAccum flags float accumulation performed inside
+// goroutines launched from a loop body: the accumulation order is the
+// scheduler's completion order, different on every run.
+func checkGoroutineAccum(pass *Pass, loop ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		reportFloatAccumClosure(pass, fl, loop)
+		return true
+	})
+}
+
+func reportFloatAccumClosure(pass *Pass, fl *ast.FuncLit, loop ast.Node) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			if !isFloatExpr(pass.Info, lhs) || declaredInside(pass.Info, lhs, fl) {
+				continue
+			}
+			if isAccumulation(a, i, lhs) {
+				pass.Reportf(a.Pos(),
+					"float accumulation into %s from a goroutine launched in a loop folds in completion order; accumulate per-worker and reduce over an index-ordered slice after the join",
+					types.ExprString(ast.Unparen(lhs)))
+			}
+		}
+		return true
+	})
+}
+
+// isAccumulation reports whether assignment index i of a is a
+// read-modify-write of lhs: `x += e`, `x *= e`, ... or `x = x + e`.
+func isAccumulation(a *ast.AssignStmt, i int, lhs ast.Expr) bool {
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN, token.DEFINE:
+		if i >= len(a.Rhs) {
+			return false
+		}
+		want := types.ExprString(ast.Unparen(lhs))
+		rhs, ok := ast.Unparen(a.Rhs[i]).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch rhs.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return types.ExprString(ast.Unparen(rhs.X)) == want ||
+				types.ExprString(ast.Unparen(rhs.Y)) == want
+		}
+	}
+	return false
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredInside reports whether e is an identifier declared within
+// node's span (loop-local or closure-local accumulators are fine:
+// they never outlive one deterministic iteration).
+func declaredInside(info *types.Info, e ast.Expr, node ast.Node) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package plus everything
+// the analyzers need to inspect it.
+type Package struct {
+	Path  string // import path ("gpureach/internal/sim", "fmt", ...)
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Local marks packages inside the module under analysis (as opposed
+	// to stdlib dependencies, which are type-checked but never
+	// analyzed or reported on).
+	Local bool
+	// LoadErrs collects parse/type errors. For Local packages any entry
+	// is fatal to an analysis run (analyzing a broken tree produces
+	// junk); for dependencies they are tolerated as long as the objects
+	// analyzers resolve against still type-check.
+	LoadErrs []error
+	// Imports holds the loaded direct dependencies, for
+	// dependency-order iteration.
+	Imports []*Package
+}
+
+// Loader parses and type-checks packages from source: module-local
+// packages out of the module tree, everything else out of GOROOT/src
+// (including its vendored dependencies). All packages share one
+// token.FileSet and one type-checker universe, so a types.Object
+// obtained while analyzing one package is pointer-identical to the
+// same object seen from an importing package — which is what makes the
+// cross-package Fact store work.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleRoot string
+	modulePath string
+	goroot     string
+	ctx        build.Context
+
+	pkgs    map[string]*Package // import path → loaded package
+	loading map[string]bool     // cycle guard
+}
+
+// NewLoader returns a loader rooted at the module containing dir
+// (found by walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	ctx.GOARCH = runtime.GOARCH
+	ctx.GOOS = runtime.GOOS
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		moduleRoot: root,
+		modulePath: modPath,
+		goroot:     ctx.GOROOT,
+		ctx:        ctx,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleRoot returns the directory containing go.mod.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// findModule walks up from dir to the first go.mod and extracts the
+// module path from its module directive.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolveDir maps an import path to the directory holding its sources:
+// module-local paths into the module tree, everything else into
+// GOROOT/src (with its vendor directory as fallback, for the
+// golang.org/x packages the standard library vendors).
+func (l *Loader) resolveDir(path string) (string, error) {
+	if path == l.modulePath {
+		return l.moduleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), nil
+	}
+	for _, dir := range []string{
+		filepath.Join(l.goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(l.goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q (not module-local, not in GOROOT)", path)
+}
+
+// Load returns the package for an import path, parsing and
+// type-checking it (and, transitively, its dependencies) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: "unsafe", Pkg: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadAt(path, dir)
+}
+
+// LoadDir loads the package in an explicit directory (used for
+// testdata fixture packages, which deliberately live outside the
+// ./... pattern). The synthesized import path is the module-relative
+// path of the directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleRoot)
+	}
+	path := l.modulePath + "/" + filepath.ToSlash(rel)
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	return l.loadAt(path, abs)
+}
+
+func (l *Loader) loadAt(path, dir string) (*Package, error) {
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	local := path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Local: local}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			pkg.LoadErrs = append(pkg.LoadErrs, perr)
+			continue
+		}
+		files = append(files, f)
+	}
+	pkg.Files = files
+
+	// Load direct imports first so type-checking below finds them in
+	// the cache and so Imports reflects true dependency order.
+	for _, imp := range bp.Imports {
+		if imp == "C" { // cgo never reaches the pure-Go file list
+			continue
+		}
+		dep, derr := l.Load(imp)
+		if derr != nil {
+			pkg.LoadErrs = append(pkg.LoadErrs, derr)
+			continue
+		}
+		pkg.Imports = append(pkg.Imports, dep)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    types.SizesFor("gc", l.ctx.GOARCH),
+		Error: func(err error) {
+			pkg.LoadErrs = append(pkg.LoadErrs, err)
+		},
+		// GOROOT sources lean on compiler intrinsics and linknamed
+		// declarations; tolerate what go/types cannot prove there.
+		IgnoreFuncBodies: !local,
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s produced no package: %v", path, firstErr(pkg.LoadErrs))
+	}
+	pkg.Pkg = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func firstErr(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs[0]
+}
+
+// loaderImporter adapts Loader to types.Importer for the
+// type-checker's import callbacks.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	p, err := (*Loader)(li).Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Pkg, nil
+}
+
+// LocalPackages discovers every package directory under the module
+// root (the "./..." pattern): directories containing at least one
+// non-test .go file, excluding testdata, hidden and vendor
+// directories. Results are sorted by import path.
+func (l *Loader) LocalPackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.moduleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, derr := os.ReadDir(path)
+		if derr != nil {
+			return derr
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, rerr := filepath.Rel(l.moduleRoot, path)
+				if rerr != nil {
+					return rerr
+				}
+				if rel == "." {
+					paths = append(paths, l.modulePath)
+				} else {
+					paths = append(paths, l.modulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder reports map-range loops whose bodies build ordered output —
+// appending to a slice declared outside the loop, or writing directly
+// to an output sink — without the slice being sorted immediately after
+// the loop. Go randomizes map iteration order on purpose, so such a
+// loop produces a differently-ordered aggregate.json, CSV row set or
+// table on every invocation: the exact bug class behind non-repeatable
+// sweep artifacts (PR 2's byte-identical-aggregate guarantee).
+//
+// The sanctioned shape is collect-then-sort:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// which the analyzer recognizes and accepts. Float accumulation inside
+// map ranges is the floatorder analyzer's half of this contract.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent output (appends, writes) built inside map iteration without a sort",
+	Run:  runMapOrder,
+}
+
+// mapOrderWriters are method/function names that emit output in call
+// position; writing one inside a map range leaks iteration order
+// straight into user-visible bytes.
+var mapOrderWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRow": true, "AddRow": true, "Encode": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, body := funcNode(n)
+			if fn == nil {
+				return true
+			}
+			checkMapRanges(pass, body)
+			return true
+		})
+	}
+}
+
+// funcNode unwraps a function declaration or literal into its body.
+func funcNode(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch x := n.(type) {
+	case *ast.FuncDecl:
+		if x.Body != nil {
+			return x, x.Body
+		}
+	case *ast.FuncLit:
+		return x, x.Body
+	}
+	return nil, nil
+}
+
+// checkMapRanges walks every statement list in body so each range
+// statement can be checked together with its trailing statements (for
+// the sort-after idiom).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions are visited on their own
+		}
+		block, ok := blockOf(n)
+		if !ok {
+			return true
+		}
+		for i, st := range block {
+			rng, ok := st.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.Info, rng) {
+				continue
+			}
+			checkOneMapRange(pass, rng, block[i+1:])
+		}
+		return true
+	})
+}
+
+func blockOf(n ast.Node) ([]ast.Stmt, bool) {
+	switch x := n.(type) {
+	case *ast.BlockStmt:
+		return x.List, true
+	case *ast.CaseClause:
+		return x.Body, true
+	case *ast.CommClause:
+		return x.Body, true
+	}
+	return nil, false
+}
+
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkOneMapRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// A nested map range is reported on its own visit.
+			if x != rng && isMapRange(pass.Info, x) {
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(x.Lhs) {
+					continue
+				}
+				target := ast.Unparen(x.Lhs[i])
+				if declaredWithin(pass.Info, target, rng) {
+					continue // loop-local scratch never escapes in map order
+				}
+				if sortedAfter(pass.Info, target, rest) {
+					continue // collect-then-sort idiom
+				}
+				pass.Reportf(x.Pos(),
+					"append to %s inside a map range leaks random iteration order into the slice; sort it immediately after the loop (or iterate sorted keys)",
+					types.ExprString(target))
+			}
+		case *ast.CallExpr:
+			if name, ok := writerCallName(pass.Info, x); ok {
+				pass.Reportf(x.Pos(),
+					"%s inside a map range writes output in random iteration order; collect into a slice, sort, then write", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether expr is an identifier whose
+// declaration lies inside the range statement.
+func declaredWithin(info *types.Info, expr ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// sortedAfter reports whether one of the statements following the
+// range calls a sort function with target among its arguments (or in a
+// closure argument, as sort.Slice uses).
+func sortedAfter(info *types.Info, target ast.Expr, rest []ast.Stmt) bool {
+	want := types.ExprString(target)
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			f := calleeFunc(info, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			pkg := f.Pkg().Path()
+			if pkg != "sort" && pkg != "slices" && !strings.HasSuffix(f.Name(), "Sort") && !strings.HasPrefix(f.Name(), "Sort") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if strings.Contains(types.ExprString(arg), want) {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// writerCallName identifies calls that write output (stdout, a writer,
+// a table) and returns a display name for the diagnostic.
+func writerCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if !mapOrderWriters[fun.Sel.Name] {
+			return "", false
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			recv := ""
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recv = types.TypeString(sig.Recv().Type(), types.RelativeTo(f.Pkg())) + "."
+			} else if f.Pkg() != nil {
+				recv = f.Pkg().Name() + "."
+			}
+			return recv + f.Name(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SchedGuard reports calls to (sim.Engine).At whose time argument is
+// not provably ≥ the engine's current clock. Scheduling in the past
+// panics by design (silently reordering time would corrupt every
+// latency measurement downstream — see PR 1's hardened diagnostic), so
+// the time expression handed to At must be derived from the clock:
+// e.Now()+d, a port grant (sim.Port.Acquire/AcquireAt and the
+// completion times built on them), a max(t, e.Now()) clamp, or a value
+// guarded by an explicit comparison against Now.
+//
+// The proof is the clockSafeFact dataflow in clocksafe.go: the
+// analyzer first infers, bottom-up through the package dependency
+// order, which function results are always ≥ the clock, then checks
+// every At call against those facts plus local flow (assignments,
+// clamps, branch refinement). (sim.Engine).After is inherently safe —
+// the engine adds the unsigned delta to its own clock — and is the
+// preferred rewrite for most violations.
+var SchedGuard = &Analyzer{
+	Name: "schedguard",
+	Doc:  "forbid scheduling engine events at times not provably ≥ the current clock",
+	Run:  runSchedGuard,
+}
+
+func runSchedGuard(pass *Pass) {
+	// Phase 1: infer clock-safety facts for this package's functions.
+	// Iterate to a fixpoint so intra-package call chains resolve
+	// regardless of declaration order (facts for dependencies were
+	// already computed by earlier passes of the Suite run).
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, done := pass.FactOf(obj); done {
+					continue
+				}
+				if fact, ok := inferClockSafe(pass, fd); ok {
+					pass.SetFact(obj, fact)
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Phase 2: check every At call, function by function, with the
+	// dataflow state current at the call site. Function literals are
+	// analyzed with a fresh (empty) state: captured sim.Time values
+	// were ≥ the clock when captured, but the closure may run later —
+	// by then the clock has moved past them.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAtCalls(pass, fd.Body.List)
+		}
+	}
+}
+
+func checkAtCalls(pass *Pass, stmts []ast.Stmt) {
+	var pendingLits []*ast.FuncLit
+	w := &walker{
+		s:       newSafety(pass),
+		retMask: ^uint64(0),
+		onAt: func(call *ast.CallExpr, st *safety) {
+			arg := call.Args[0]
+			if !st.eval(arg) {
+				pass.Reportf(call.Pos(),
+					"Engine.At(%s, ...) may schedule in the past: the time is not provably ≥ the engine clock; derive it from Now()/a port grant, clamp with max(t, e.Now()), or use After",
+					types.ExprString(arg))
+			}
+		},
+		onFuncLit: func(fl *ast.FuncLit) { pendingLits = append(pendingLits, fl) },
+	}
+	w.walkStmts(stmts)
+	for _, fl := range pendingLits {
+		checkAtCalls(pass, fl.Body.List)
+	}
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsLintClean runs the default suite over every package in the
+// module — exactly what `gpureachvet ./...` and `make lint` do — and
+// fails on any diagnostic. This keeps the tree lint-clean as a test
+// invariant, not just a CI step: a change that introduces a wall-clock
+// read, a raw panic, an unsorted map-order output or an unguarded
+// schedule breaks `go test ./...` immediately.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.LocalPackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := DefaultSuite().Run(l, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if t.Failed() {
+		t.Log("fix the diagnostic or annotate the line with //gpureach:allow <analyzer> -- <why>")
+	}
+}

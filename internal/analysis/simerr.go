@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimErr reports raw panic(...) calls in simulation packages. A panic
+// that escapes the event loop kills the whole campaign worker, so
+// run-time failures must be raised as structured *sim.SimError values
+// (via sim.Engine.Failf or an explicit &sim.SimError{...}) that
+// core.Run's RecoverSimError boundary demotes to ordinary errors —
+// keeping 100-run sweeps panic-free and individual failures
+// journaled, retried and excluded from aggregation instead of fatal.
+//
+// Sanctioned raw panics, by construction:
+//
+//   - panic(x) where x is a *sim.SimError — that IS the structured
+//     mechanism (Failf's own body, or hand-built errors);
+//   - panics inside functions named New* — constructor geometry
+//     validation runs before any engine exists, so there is no run to
+//     keep alive and no recovery boundary to reach;
+//   - panics inside functions named Must* — the documented contract of
+//     a Must helper is to crash on error;
+//   - test files (not loaded by the suite at all).
+//
+// Anything else needs a rewrite or a //gpureach:allow simerr directive
+// with a justification.
+var SimErr = &Analyzer{
+	Name: "simerr",
+	Doc:  "forbid raw panics in simulation packages outside constructors, Must helpers and *sim.SimError raises",
+	Run:  runSimErr,
+}
+
+func runSimErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if len(call.Args) == 1 && isSimErrorType(pass.Info, call.Args[0]) {
+				return true
+			}
+			fn := enclosingFuncName(file, call.Pos())
+			if strings.HasPrefix(fn, "New") || strings.HasPrefix(fn, "Must") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw panic in a simulation package; raise a structured failure instead (sim.Engine.Failf or *sim.SimError) so RunGuarded recovery keeps campaign runs alive")
+			return true
+		})
+	}
+}
+
+// isSimErrorType reports whether expr's static type is *sim.SimError.
+func isSimErrorType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	p, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "SimError" && obj.Pkg() != nil && obj.Pkg().Path() == simEnginePkg
+}

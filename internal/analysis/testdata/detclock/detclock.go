@@ -1,0 +1,43 @@
+// Package detclock exercises the detclock analyzer: wall-clock reads
+// and ambient-randomness draws fire; engine-derived time and seeded
+// sim.Rand stay silent, as does an explicitly allowed call.
+package detclock
+
+import (
+	"math/rand"
+	"time"
+
+	"gpureach/internal/sim"
+)
+
+// wallClock reads the host clock mid-simulation — the canonical bug.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock in a simulation package"
+}
+
+// sleeps blocks on wall time, which has no meaning in event time.
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// ambientRand draws from the shared process-global source.
+func ambientRand() int {
+	return rand.Intn(16) // want "rand.Intn draws from the ambient random source"
+}
+
+// engineTime is the correct pattern: all time flows from the engine.
+func engineTime(e *sim.Engine) sim.Time {
+	return e.Now() + 4
+}
+
+// seededRand is the correct pattern: a seed pins the whole stream.
+func seededRand() int {
+	return sim.NewRand(42).Intn(16)
+}
+
+// allowedWallClock shows the escape hatch for sanctioned reads (e.g. a
+// progress line) — the directive names the analyzer it silences.
+func allowedWallClock() time.Time {
+	//gpureach:allow detclock -- fixture: wall clock feeds a progress display only
+	return time.Now()
+}

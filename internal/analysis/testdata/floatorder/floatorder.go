@@ -1,0 +1,93 @@
+// Package floatorder exercises the floatorder analyzer: float
+// accumulation under map iteration or goroutine completion order
+// fires; integer accumulation, sorted-key reduction, and per-worker
+// partials stay silent.
+package floatorder
+
+import (
+	"sort"
+	"sync"
+)
+
+// mapSum folds floats in random map order: the last bits of the sum
+// differ between runs because float addition is not associative.
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation into sum inside a map range is order-dependent"
+	}
+	return sum
+}
+
+// mapProduct has the same bug in product form.
+func mapProduct(m map[string]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod = prod * v // want "float accumulation into prod inside a map range is order-dependent"
+	}
+	return prod
+}
+
+// intSum is exempt: integer addition is associative, order cannot
+// change the result.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedKeysSum is the sanctioned rewrite: reduce over a
+// deterministically ordered slice.
+func sortedKeysSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// racySum accumulates across goroutines: the fold happens in scheduler
+// completion order, different every run (and is a data race besides).
+func racySum(vals []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			mu.Lock()
+			sum += v // want "float accumulation into sum from a goroutine launched in a loop folds in completion order"
+			mu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+	return sum
+}
+
+// partialSums is the sanctioned parallel shape: each worker owns one
+// slot, and the final reduction runs in index order on one goroutine.
+func partialSums(vals []float64) float64 {
+	partial := make([]float64, len(vals))
+	var wg sync.WaitGroup
+	for i, v := range vals {
+		wg.Add(1)
+		go func(i int, v float64) {
+			defer wg.Done()
+			partial[i] = v * v
+		}(i, v)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}

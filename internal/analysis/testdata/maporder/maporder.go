@@ -1,0 +1,72 @@
+// Package maporder exercises the maporder analyzer: unsorted appends
+// and direct writes inside map ranges fire; the collect-then-sort
+// idiom, loop-local scratch, and allowed sites stay silent.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// unsortedAppend leaks map iteration order straight into the slice.
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside a map range leaks random iteration order"
+	}
+	return keys
+}
+
+// directWrite emits output bytes in a different order on every run.
+func directWrite(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside a map range writes output in random iteration order"
+	}
+}
+
+// collectThenSort is the sanctioned idiom: the sort right after the
+// loop erases the random order before anyone observes it.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSlice also counts: sort.Slice mentions the target in its closure.
+func sortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// loopLocal scratch never escapes a single iteration, so order is moot.
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		total += len(evens)
+	}
+	return total
+}
+
+// allowedAppend shows the escape hatch when order provably cannot leak
+// (e.g. the slice is consumed as a set).
+func allowedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//gpureach:allow maporder -- fixture: consumed as an unordered set downstream
+		keys = append(keys, k)
+	}
+	return keys
+}

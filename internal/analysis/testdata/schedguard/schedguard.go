@@ -1,0 +1,64 @@
+// Package schedguard exercises the schedguard analyzer: scheduling at
+// a time the dataflow cannot prove ≥ the engine clock fires; times
+// derived from Now(), port grants, clamps and guards stay silent.
+package schedguard
+
+import "gpureach/internal/sim"
+
+// unguardedParam schedules at a caller-supplied time that could lie in
+// the past — the canonical footgun behind "scheduling event in the
+// past" panics.
+func unguardedParam(e *sim.Engine, t sim.Time) {
+	e.At(t, func() {}) // want "may schedule in the past"
+}
+
+// staleField replays a remembered timestamp without re-checking it
+// against the clock.
+type staleField struct {
+	eng      *sim.Engine
+	deadline sim.Time
+}
+
+func (s *staleField) fire() {
+	s.eng.At(s.deadline, func() {}) // want "may schedule in the past"
+}
+
+// nowDerived is always safe: Now()+d cannot precede Now().
+func nowDerived(e *sim.Engine, d sim.Time) {
+	e.At(e.Now()+d, func() {})
+}
+
+// portGrant is safe: Acquire clamps its grant to the current clock, a
+// fact inferred from the sim package itself.
+func portGrant(e *sim.Engine, p *sim.Port, latency sim.Time) {
+	grant := p.Acquire()
+	e.At(grant+latency, func() {})
+}
+
+// guarded is safe inside the branch that proved t ahead of the clock.
+func guarded(e *sim.Engine, t sim.Time) {
+	if t > e.Now() {
+		e.At(t, func() {})
+	}
+}
+
+// clamped is safe via the builtin max against the current clock.
+func clamped(e *sim.Engine, t sim.Time) {
+	e.At(max(t, e.Now()), func() {})
+}
+
+// helperSafe returns a provably-safe time; the fact flows to callers.
+func helperSafe(e *sim.Engine, d sim.Time) sim.Time {
+	return e.Now() + d
+}
+
+func viaHelper(e *sim.Engine, d sim.Time) {
+	e.At(helperSafe(e, d), func() {})
+}
+
+// allowedAt shows the escape hatch when the invariant holds for
+// reasons the dataflow cannot see.
+func allowedAt(e *sim.Engine, t sim.Time) {
+	//gpureach:allow schedguard -- fixture: t validated against the clock by the caller's protocol
+	e.At(t, func() {})
+}

@@ -1,0 +1,64 @@
+// Package simerr exercises the simerr analyzer: raw panics fire;
+// structured *sim.SimError panics, constructor/Must helpers, and
+// allowed sites stay silent.
+package simerr
+
+import (
+	"fmt"
+
+	"gpureach/internal/sim"
+)
+
+// rawPanic crashes the whole campaign process instead of failing one run.
+func rawPanic(n int) {
+	if n < 0 {
+		panic("negative n") // want "raw panic in a simulation package"
+	}
+}
+
+// formattedPanic is just as bad with fmt dressing.
+func formattedPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n: %d", n)) // want "raw panic in a simulation package"
+	}
+}
+
+// structured raises the sanctioned typed failure that RunGuarded
+// recovery converts into an ordinary error.
+func structured(e *sim.Engine, n int) {
+	if n < 0 {
+		panic(&sim.SimError{Kind: sim.ErrInvariant, Msg: "bad n"})
+	}
+}
+
+// viaFailf uses the engine helper, the preferred spelling.
+func viaFailf(e *sim.Engine, n int) {
+	if n < 0 {
+		e.Failf(sim.ErrInvariant, "bad n: %d", n)
+	}
+}
+
+// NewThing may panic raw: constructors run before any engine exists,
+// so a crash is a build-time bug report, not a lost run.
+func NewThing(n int) int {
+	if n < 0 {
+		panic("NewThing: negative n")
+	}
+	return n
+}
+
+// MustThing is the sanctioned crash-on-error wrapper idiom.
+func MustThing(n int) int {
+	if n < 0 {
+		panic("MustThing: negative n")
+	}
+	return n
+}
+
+// allowedPanic shows the annotated escape hatch with justification.
+func allowedPanic(n int) {
+	if n < 0 {
+		//gpureach:allow simerr -- fixture: caller-bug bounds check, crashing beats corrupting
+		panic("bounds")
+	}
+}

@@ -160,6 +160,7 @@ func (g *Group) Find(v uint64) int {
 
 func (g *Group) checkSlot(i int) {
 	if i < 0 || i >= g.slots {
+		//gpureach:allow simerr -- an out-of-range slot index is a caller bug, not a run-time fault; crashing beats silently corrupting a compressed entry
 		panic(fmt.Sprintf("bdc: slot %d out of range [0,%d)", i, g.slots))
 	}
 }

@@ -1,0 +1,90 @@
+// Package cli holds the command-line front ends shared between the
+// gpureach binary's subcommands and the legacy single-purpose
+// binaries that now shim onto them.
+//
+// The package is deliberately outside the detclock analyzer's scope
+// (see internal/analysis.DefaultSuite): progress and elapsed-time
+// reporting may read the wall clock here, but only onto stderr —
+// stdout carries experiment tables and must be byte-identical across
+// invocations.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gpureach/internal/core"
+)
+
+// RunExp runs the experiment subcommand (`gpureach exp ...`): it
+// regenerates the paper's tables and figures by artifact ID. It
+// returns a process exit code; tables go to stdout, diagnostics and
+// timing to stderr.
+//
+// Examples:
+//
+//	gpureach exp -list                     # show available experiments
+//	gpureach exp -exp F13b                 # the headline Figure 13b
+//	gpureach exp -exp T2 -apps ATAX,SRAD   # restrict the app set
+//	gpureach exp -exp all -scale 0.25      # everything, fast and small
+func RunExp(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment ID (see -list), or 'all'")
+	scale := fs.Float64("scale", 1.0, "footprint/instruction scale factor")
+	apps := fs.String("apps", "", "comma-separated workload subset (default: all ten)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list || *exp == "" {
+		fmt.Fprintln(stdout, "experiments:")
+		for _, e := range core.Experiments() {
+			fmt.Fprintf(stdout, "  %-5s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			return 2
+		}
+		return 0
+	}
+
+	opts := core.ExpOptions{Scale: *scale}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var selected []core.Experiment
+	if *exp == "all" {
+		selected = core.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := core.ExperimentByID(id)
+			if !ok {
+				fmt.Fprintf(stderr, "unknown experiment %q (try -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(opts)
+		for _, t := range tables {
+			t.Render(stdout)
+		}
+		// Elapsed time is wall-clock-dependent, so it goes to stderr:
+		// stdout must be identical from run to run (the same contract
+		// the sweep engine keeps for its artifacts).
+		fmt.Fprintf(stderr, "[%s completed in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

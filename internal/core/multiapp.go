@@ -24,13 +24,19 @@ type MultiAppResult struct {
 // It returns per-application finish times plus the shared-system
 // end-to-end result.
 func RunMultiApp(cfg Config, apps []workloads.Workload, scale float64) ([]MultiAppResult, Results) {
+	// Shape checks on the experiment preset, before any engine exists:
+	// there is no run to keep alive yet, so structured SimErrors would
+	// have no recovery boundary to reach.
 	if len(apps) == 0 {
+		//gpureach:allow simerr -- pre-engine preset validation; no recovery boundary exists yet
 		panic("core: RunMultiApp with no applications")
 	}
 	if len(apps) > 4 {
+		//gpureach:allow simerr -- pre-engine preset validation; no recovery boundary exists yet
 		panic("core: the 2-bit VM-ID supports at most 4 concurrent applications")
 	}
 	if cfg.GPU.NumCUs%len(apps) != 0 {
+		//gpureach:allow simerr -- pre-engine preset validation; no recovery boundary exists yet
 		panic(fmt.Sprintf("core: %d CUs do not partition across %d applications", cfg.GPU.NumCUs, len(apps)))
 	}
 	s := NewSystem(cfg)

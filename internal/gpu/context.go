@@ -34,16 +34,21 @@ type Context struct {
 	active bool
 }
 
-// Validate panics on malformed contexts.
+// Validate panics on malformed contexts. These are launch-time shape
+// checks on programmer-assembled structures — a bad context is a bug
+// in the experiment, not a simulation fault to recover from.
 func (c *Context) Validate(cfg Config) {
 	if c.Space == nil {
+		//gpureach:allow simerr -- malformed context is an experiment bug; fail loudly at launch
 		panic("gpu: context without an address space")
 	}
 	if len(c.Kernels) == 0 {
+		//gpureach:allow simerr -- malformed context is an experiment bug; fail loudly at launch
 		panic("gpu: context without kernels")
 	}
 	for _, id := range c.CUIDs {
 		if id < 0 || id >= cfg.NumCUs {
+			//gpureach:allow simerr -- malformed context is an experiment bug; fail loudly at launch
 			panic(fmt.Sprintf("gpu: context references CU %d of %d", id, cfg.NumCUs))
 		}
 	}

@@ -61,14 +61,19 @@ type Kernel struct {
 func (k *Kernel) Validate() {
 	switch {
 	case k.Name == "":
+		//gpureach:allow simerr -- generator-bug validation; crash before the kernel corrupts an experiment
 		panic("gpu: kernel without a name")
 	case k.NumWorkgroups <= 0 || k.WavesPerWG <= 0:
+		//gpureach:allow simerr -- generator-bug validation; crash before the kernel corrupts an experiment
 		panic(fmt.Sprintf("gpu: kernel %q has empty shape", k.Name))
 	case k.InstrPerWave <= 0:
+		//gpureach:allow simerr -- generator-bug validation; crash before the kernel corrupts an experiment
 		panic(fmt.Sprintf("gpu: kernel %q executes no instructions", k.Name))
 	case k.CodeBytes <= 0:
+		//gpureach:allow simerr -- generator-bug validation; crash before the kernel corrupts an experiment
 		panic(fmt.Sprintf("gpu: kernel %q has no code", k.Name))
 	case k.MemEvery > 0 && k.Mem == nil:
+		//gpureach:allow simerr -- generator-bug validation; crash before the kernel corrupts an experiment
 		panic(fmt.Sprintf("gpu: kernel %q issues memory accesses without a pattern", k.Name))
 	}
 }

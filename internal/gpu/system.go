@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 
 	"gpureach/internal/sim"
@@ -108,7 +109,14 @@ func (s *System) RunContexts(ctxs []*Context) sim.Time {
 	}
 	if err := s.Eng.RunGuarded(s.Guard); err != nil {
 		// Deep callbacks cannot thread errors out; re-raise as the
-		// structured panic core.Run recovers at the boundary.
+		// structured panic core.Run recovers at the boundary. Unwrap
+		// to the concrete *sim.SimError so only structured failures
+		// ride the recovery path.
+		var serr *sim.SimError
+		if errors.As(err, &serr) {
+			panic(serr)
+		}
+		//gpureach:allow simerr -- a non-structured RunGuarded error is a guard bug; crash loudly rather than mask it as a run failure
 		panic(err)
 	}
 	for _, ctx := range ctxs {
@@ -151,6 +159,7 @@ func (s *System) launchNext(ctx *Context) {
 	ctx.idx++
 	k.Validate()
 	if k.WavesPerWG > s.Cfg.WaveSlotsPerCU() {
+		//gpureach:allow simerr -- kernel/config shape mismatch is an experiment bug caught at launch, not a run-time fault
 		panic(fmt.Sprintf("gpu: kernel %q needs %d waves per work-group; a CU holds %d",
 			k.Name, k.WavesPerWG, s.Cfg.WaveSlotsPerCU()))
 	}

@@ -317,6 +317,7 @@ func (c *ICache) TxLookupLatency() sim.Time {
 // returns the entry, whether it hit, and the completion time.
 func (c *ICache) TxLookup(key tlb.Key) (tlb.Entry, bool, sim.Time) {
 	if c.cfg.TxPerLine == 0 {
+		//gpureach:allow simerr -- probing a Tx-disabled I-cache is a wiring bug in the scheme plumbing, caught by the first lookup of any run
 		panic("icache: TxLookup with reconfiguration disabled")
 	}
 	c.stats.TxLookups++

@@ -92,6 +92,7 @@ func RecoverSimError(err *error) {
 		*err = se
 		return
 	}
+	//gpureach:allow simerr -- re-raising a foreign panic value unchanged: only structured failures are demoted to errors, genuine bugs still crash
 	panic(r)
 }
 

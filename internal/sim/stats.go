@@ -141,6 +141,7 @@ func (r *Rand) Uint64() uint64 {
 // Intn returns a pseudo-random int in [0, n). n must be positive.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
+		//gpureach:allow simerr -- mirrors math/rand's contract; a non-positive bound is a caller bug, not a simulation fault
 		panic("sim: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))

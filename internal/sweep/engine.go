@@ -197,7 +197,14 @@ func Execute(spec Spec, opts Options) (*Campaign, error) {
 				mu.Unlock()
 				var infraErr error
 				if cache != nil && !rec.Failed() {
-					infraErr = cache.Put(rec)
+					// Strip the wall-clock cost before persisting so a
+					// cache file's bytes depend only on the run, never on
+					// how fast this machine happened to execute it. (Get
+					// zeroes WallMS too, for caches written before this
+					// rule existed.)
+					cached := rec
+					cached.WallMS = 0
+					infraErr = cache.Put(cached)
 				}
 				if journal != nil {
 					if jerr := journal.Append(rec); jerr != nil && infraErr == nil {

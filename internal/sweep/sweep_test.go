@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"gpureach/internal/core"
 	"gpureach/internal/sim"
@@ -376,5 +378,111 @@ func TestBenchTrajectoryAppends(t *testing.T) {
 	}
 	if got := bytes.Count(data, []byte("timestamp_utc")); got != 3 {
 		t.Fatalf("trajectory has %d entries, want 3", got)
+	}
+}
+
+// TestShuffledCompletionOrderMatchesSerial hardens the determinism
+// guarantee beyond TestParallelMatchesSerial: there the workers race
+// roughly uniformly, here each run is delayed so completion order is
+// adversarially scrambled relative to spec-expansion order — early
+// jobs finish last. The aggregate bytes must not care.
+func TestShuffledCompletionOrderMatchesSerial(t *testing.T) {
+	runs := testSpec().Normalize().Expand()
+	delay := map[string]time.Duration{}
+	for i, r := range runs {
+		// Longest delay first: the first-dispatched jobs complete last.
+		delay[r.DigestHex()] = time.Duration(len(runs)-i) * 3 * time.Millisecond
+	}
+	delayed := func(r Run) (core.Results, error) {
+		time.Sleep(delay[r.DigestHex()])
+		return ExecuteRun(r)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	shuffled, err := Execute(testSpec(), Options{
+		Procs: 8,
+		RunFn: delayed,
+		Progress: func(p Progress) {
+			mu.Lock()
+			order = append(order, p.Record.Digest)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("shuffled campaign: %v", err)
+	}
+	// Sanity: the delays really did scramble completion order.
+	inOrder := true
+	for i, r := range runs {
+		if i >= len(order) || order[i] != r.DigestHex() {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatalf("completion order matched expansion order; delays failed to scramble")
+	}
+
+	serial, err := Execute(testSpec(), Options{Procs: 1})
+	if err != nil {
+		t.Fatalf("serial campaign: %v", err)
+	}
+	sj, err := serial.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, err := shuffled.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, hj) {
+		t.Fatalf("aggregate JSON depends on completion order:\n--- serial ---\n%s\n--- shuffled ---\n%s", sj, hj)
+	}
+	sc, _ := serial.Aggregate().CSV()
+	hc, _ := shuffled.Aggregate().CSV()
+	if !bytes.Equal(sc, hc) {
+		t.Fatalf("aggregate CSV depends on completion order")
+	}
+}
+
+// TestCacheFilesAreByteIdentical pins the WallMS-stripping rule: two
+// independent campaigns over the same spec must write byte-identical
+// cache files, because a cache entry's bytes depend only on the run
+// config and its deterministic results — never on how long this
+// machine took to execute it.
+func TestCacheFilesAreByteIdentical(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if _, err := Execute(testSpec(), Options{Procs: 4, OutDir: dirA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(testSpec(), Options{Procs: 1, OutDir: dirB}); err != nil {
+		t.Fatal(err)
+	}
+	readCache := func(dir string) map[string][]byte {
+		files := map[string][]byte{}
+		root := filepath.Join(dir, "cache")
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, _ := filepath.Rel(root, path)
+			data, rerr := os.ReadFile(path)
+			files[rel] = data
+			return rerr
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return files
+	}
+	a, b := readCache(dirA), readCache(dirB)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("cache file counts differ (or empty): %d vs %d", len(a), len(b))
+	}
+	for name, data := range a {
+		if !bytes.Equal(data, b[name]) {
+			t.Errorf("cache file %s differs between campaigns", name)
+		}
 	}
 }

@@ -33,6 +33,7 @@ func (b Buffer) Contains(va VA) bool {
 // on overflow — a workload generator bug we want loudly.
 func (b Buffer) At(offset uint64) VA {
 	if offset >= b.Size {
+		//gpureach:allow simerr -- an out-of-bounds offset is a workload-generator bug (caught by workload tests), not a recoverable run fault
 		panic(fmt.Sprintf("vm: offset %d outside buffer %q of %d bytes", offset, b.Name, b.Size))
 	}
 	return b.Base + VA(offset)
@@ -74,6 +75,7 @@ func (as *AddrSpace) PageTable() *PageTable { return as.pt }
 // page to a fresh physical frame, and returns the buffer handle.
 func (as *AddrSpace) Alloc(name string, size uint64) Buffer {
 	if size == 0 {
+		//gpureach:allow simerr -- workload-build-time validation; allocation happens before any engine event runs
 		panic("vm: zero-size allocation")
 	}
 	ps := uint64(as.pageSize)

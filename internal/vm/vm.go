@@ -91,6 +91,7 @@ func (f *FrameAllocator) AllocData(size PageSize) PA {
 	pa := f.nextData
 	f.nextData += PA(size)
 	if f.nextData > PA(uint64(f.limit)/2) {
+		//gpureach:allow simerr -- frame exhaustion means the workload footprint exceeds the configured memory: a config/scale bug at build time, before the engine runs
 		panic(fmt.Sprintf("vm: out of data frames (allocated %d bytes)", f.nextData))
 	}
 	return pa
@@ -101,6 +102,7 @@ func (f *FrameAllocator) AllocNode() PA {
 	pa := f.nextNode
 	f.nextNode += ptNodeBytes
 	if f.nextNode > f.limit {
+		//gpureach:allow simerr -- frame exhaustion means the workload footprint exceeds the configured memory: a config/scale bug at build time, before the engine runs
 		panic("vm: out of page-table frames")
 	}
 	return pa

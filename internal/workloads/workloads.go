@@ -142,6 +142,7 @@ func threadID(wg, wave, lane int) int {
 // instruction budget); geometry (paging behaviour) is set by cols.
 func rowStrideKernel(name string, m vm.Buffer, rows, cols, memCols int) *gpu.Kernel {
 	if rows%tpWG != 0 {
+		//gpureach:allow simerr -- workload-definition shape check at build time; no engine exists yet
 		panic(fmt.Sprintf("workloads: %s rows %d not a multiple of %d", name, rows, tpWG))
 	}
 	return &gpu.Kernel{
@@ -169,6 +170,7 @@ func rowStrideKernel(name string, m vm.Buffer, rows, cols, memCols int) *gpu.Ker
 // TLB holds.
 func colStrideKernel(name string, m vm.Buffer, rows, cols, memRows int) *gpu.Kernel {
 	if cols%tpWG != 0 {
+		//gpureach:allow simerr -- workload-definition shape check at build time; no engine exists yet
 		panic(fmt.Sprintf("workloads: %s cols %d not a multiple of %d", name, cols, tpWG))
 	}
 	return &gpu.Kernel{
