@@ -3,15 +3,19 @@
 #   make tier1        build + full unit tests — the gate every change must pass
 #   make tier2        tier1 plus static analysis and a race-detector sweep
 #   make lint         go vet + gofmt + the repo's own analyzers (cmd/gpureachvet)
-#   make bench        regenerate the paper's figures/tables (slow; see bench_test.go)
-#   make sweep-smoke  fast end-to-end campaign: 2 apps × 2 schemes on the
-#                     parallel sweep engine, with cache/journal/aggregates
+#   make bench        core engine benchmarks: internal/sim microbenches, the
+#                     single-run benchmark, and an appended BENCH_core.json entry
+#   make bench-smoke  one-iteration pass over every benchmark (CI keeps them
+#                     compiling and running; no stable numbers expected)
+#   make bench-paper  regenerate the paper's figures/tables (slow; see bench_test.go)
+#   make sweep-smoke  fast end-to-end campaigns on the parallel sweep engine,
+#                     with a byte-identity check across independent campaign dirs
 
 GO ?= go
 
 .DEFAULT_GOAL := tier1
 
-.PHONY: tier1 tier2 lint bench sweep-smoke
+.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke
 
 tier1:
 	$(GO) build ./...
@@ -28,11 +32,27 @@ lint:
 	$(GO) run ./cmd/gpureachvet ./...
 
 bench:
+	$(GO) test -bench=. -benchmem -run NONE ./internal/sim/
+	$(GO) test -bench BenchmarkSingleRun -benchmem -run NONE .
+	$(GO) run ./cmd/benchcore -out BENCH_core.json
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime 1x -benchmem -run NONE ./internal/sim/
+	$(GO) test -bench BenchmarkSingleRun -benchtime 1x -benchmem -run NONE .
+	$(GO) run ./cmd/benchcore -n 1 -out .bench-smoke.json
+	rm -f .bench-smoke.json
+
+bench-paper:
 	$(GO) test -bench=. -benchmem
 
 sweep-smoke:
 	rm -rf .sweep-smoke
 	$(GO) run ./cmd/gpureach sweep -apps ATAX,GUPS -schemes ic+lds \
-		-scale 0.05 -procs 2 -out .sweep-smoke -bench .sweep-smoke/BENCH_sweep.json
+		-scale 0.05 -procs 2 -out .sweep-smoke/a -bench .sweep-smoke/BENCH_sweep.json
 	$(GO) run ./cmd/gpureach sweep -apps ATAX,GUPS -schemes ic+lds \
-		-scale 0.05 -procs 2 -out .sweep-smoke -bench .sweep-smoke/BENCH_sweep.json -quiet
+		-scale 0.05 -procs 2 -out .sweep-smoke/a -bench .sweep-smoke/BENCH_sweep.json -quiet
+	$(GO) run ./cmd/gpureach sweep -apps ATAX,GUPS -schemes ic+lds \
+		-scale 0.05 -procs 1 -out .sweep-smoke/b -bench '' -quiet -no-tables
+	cmp .sweep-smoke/a/aggregate.json .sweep-smoke/b/aggregate.json
+	cmp .sweep-smoke/a/aggregate.csv .sweep-smoke/b/aggregate.csv
+	@echo "sweep-smoke: aggregates byte-identical across independent campaigns (procs 2 vs 1)"

@@ -1,0 +1,29 @@
+package gpureach_test
+
+import (
+	"testing"
+
+	"gpureach/internal/core"
+	"gpureach/internal/workloads"
+)
+
+// BenchmarkSingleRun measures one end-to-end simulation of the
+// dominant single run (GUPS, ic+lds, scale 0.05): the per-run hot path
+// every campaign is built from. events/sec and ns/event come from the
+// engine's own event counter.
+func BenchmarkSingleRun(b *testing.B) {
+	scheme, _ := core.SchemeByName("ic+lds")
+	cfg := core.DefaultConfig(scheme)
+	w, _ := workloads.ByName("GUPS")
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		s := core.NewSystem(cfg)
+		kernels := w.Build(s.Space, 0.05)
+		if _, err := s.Run(w.Name, kernels); err != nil {
+			b.Fatal(err)
+		}
+		events = s.Eng.EventsRun()
+	}
+	b.ReportMetric(float64(events), "events/run")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+}

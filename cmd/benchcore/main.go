@@ -1,0 +1,131 @@
+// Command benchcore measures the per-run cost of the simulator's hot
+// path — one end-to-end simulation of the dominant campaign run (GUPS,
+// ic+lds, scale 0.05) — and appends the sample to a BENCH_core.json
+// trajectory. Where BENCH_sweep.json tracks campaign throughput,
+// BENCH_core.json tracks the single-run engine itself: wall time per
+// run, ns per event, and allocations per event, so an engine
+// regression is visible as one line in one file.
+//
+//	go run ./cmd/benchcore                 # append to BENCH_core.json
+//	go run ./cmd/benchcore -n 5 -out /dev/stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gpureach/internal/core"
+	"gpureach/internal/workloads"
+)
+
+// Entry is one sample of the core-engine performance trajectory.
+type Entry struct {
+	TimestampUTC   string  `json:"timestamp_utc"`
+	Label          string  `json:"label"`
+	App            string  `json:"app"`
+	Scheme         string  `json:"scheme"`
+	Scale          float64 `json:"scale"`
+	Runs           int     `json:"runs"`
+	WallMSPerRun   float64 `json:"wall_ms_per_run"`
+	EventsPerRun   uint64  `json:"events_per_run"`
+	NSPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerRun   uint64  `json:"allocs_per_run"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerRun    uint64  `json:"bytes_per_run"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "trajectory file to append to")
+	label := flag.String("label", "", "optional label for this sample (defaults to the run spec)")
+	app := flag.String("app", "GUPS", "workload to measure")
+	scheme := flag.String("scheme", "ic+lds", "translation scheme to measure")
+	scale := flag.Float64("scale", 0.05, "footprint/instruction scale factor")
+	n := flag.Int("n", 3, "measured iterations (one unmeasured warm-up run precedes them)")
+	flag.Parse()
+
+	s, ok := core.SchemeByName(*scheme)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	w, ok := workloads.ByName(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	if *n < 1 {
+		*n = 1
+	}
+	cfg := core.DefaultConfig(s)
+
+	oneRun := func() uint64 {
+		sys := core.NewSystem(cfg)
+		kernels := w.Build(sys.Space, *scale)
+		if _, err := sys.Run(w.Name, kernels); err != nil {
+			fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+			os.Exit(1)
+		}
+		return sys.Eng.EventsRun()
+	}
+
+	oneRun() // warm-up: page cache, code paths, allocator arenas
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var events uint64
+	for i := 0; i < *n; i++ {
+		events = oneRun()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	e := Entry{
+		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
+		Label:        *label,
+		App:          w.Name,
+		Scheme:       s.Name,
+		Scale:        *scale,
+		Runs:         *n,
+		WallMSPerRun: float64(wall.Nanoseconds()) / 1e6 / float64(*n),
+		EventsPerRun: events,
+		AllocsPerRun: (after.Mallocs - before.Mallocs) / uint64(*n),
+		BytesPerRun:  (after.TotalAlloc - before.TotalAlloc) / uint64(*n),
+	}
+	if e.Label == "" {
+		e.Label = fmt.Sprintf("single run %s %s scale=%g", e.App, e.Scheme, e.Scale)
+	}
+	if events > 0 {
+		e.NSPerEvent = float64(wall.Nanoseconds()) / float64(*n) / float64(events)
+		e.AllocsPerEvent = float64(e.AllocsPerRun) / float64(events)
+	}
+
+	if err := appendEntry(*out, e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcore: %s — %d run(s), %.0f ms/run, %d events/run, %.0f ns/event, %.3f allocs/event → %s\n",
+		e.Label, e.Runs, e.WallMSPerRun, e.EventsPerRun, e.NSPerEvent, e.AllocsPerEvent, *out)
+}
+
+// appendEntry keeps path a valid JSON array across appends (the same
+// contract as sweep.AppendBench).
+func appendEntry(path string, e Entry) error {
+	var entries []Entry
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("benchcore: %s exists but is not a JSON entry array: %w", path, err)
+		}
+	}
+	entries = append(entries, e)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchcore: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

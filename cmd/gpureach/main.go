@@ -49,7 +49,13 @@ func main() {
 	pageSize := flag.String("pagesize", "4K", "page size: "+strings.Join(core.PageSizeNames(), ", "))
 	chaosSpec := flag.String("chaos", "", "fault injection: seed=N,rate=R[,max=M] — deterministic shootdowns, migrations, LDS reclaims and walker stalls with live invariant checks")
 	list := flag.Bool("list", false, "list workloads, schemes and page sizes, then exit")
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer prof.Stop(os.Stderr)
 
 	if *list {
 		printList()

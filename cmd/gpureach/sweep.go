@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gpureach/internal/cli"
 	"gpureach/internal/sweep"
 )
 
@@ -30,7 +31,14 @@ func runSweep(args []string) {
 	bench := fs.String("bench", "BENCH_sweep.json", "perf-trajectory file to append to ('' disables)")
 	quiet := fs.Bool("quiet", false, "suppress per-run progress lines")
 	noTables := fs.Bool("no-tables", false, "skip printing aggregate tables to stdout")
+	prof := cli.AddProfileFlags(fs)
 	fs.Parse(args)
+	if err := prof.Start(os.Stderr); err != nil {
+		fatalf("%v", err)
+	}
+	// fatalf exits without unwinding, so the deferred Stop only covers
+	// successful campaigns — exactly the runs worth profiling.
+	defer prof.Stop(os.Stderr)
 
 	spec := sweep.Spec{Scale: *scale, ChaosRate: *chaosRate}
 	spec.Apps = splitList(*apps)
@@ -118,6 +126,7 @@ func runSweep(args []string) {
 		st.Total, st.Executed, st.CacheHits, st.JournalHits, st.Retries, st.Failed, st.WallMS/1000)
 	fmt.Printf("sweep: artifacts in %s (aggregate.json, aggregate.csv, journal.jsonl, cache/)\n", *out)
 	if st.Failed > 0 {
+		prof.Stop(os.Stderr)
 		os.Exit(1)
 	}
 }

@@ -310,7 +310,9 @@ func (w *walker) scanExprs(n ast.Node) {
 			}
 			return false
 		case *ast.CallExpr:
-			if w.onAt != nil && isEngineMethodCall(w.s.pass.Info, e, "At") && len(e.Args) >= 1 {
+			if w.onAt != nil && len(e.Args) >= 1 &&
+				(isEngineMethodCall(w.s.pass.Info, e, "At") ||
+					isEngineMethodCall(w.s.pass.Info, e, "AtEvent")) {
 				w.onAt(e, w.s)
 			}
 		}

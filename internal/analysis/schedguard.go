@@ -79,9 +79,13 @@ func checkAtCalls(pass *Pass, stmts []ast.Stmt) {
 		onAt: func(call *ast.CallExpr, st *safety) {
 			arg := call.Args[0]
 			if !st.eval(arg) {
+				method := "At"
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					method = sel.Sel.Name
+				}
 				pass.Reportf(call.Pos(),
-					"Engine.At(%s, ...) may schedule in the past: the time is not provably ≥ the engine clock; derive it from Now()/a port grant, clamp with max(t, e.Now()), or use After",
-					types.ExprString(arg))
+					"Engine.%s(%s, ...) may schedule in the past: the time is not provably ≥ the engine clock; derive it from Now()/a port grant, clamp with max(t, e.Now()), or use After/AfterEvent",
+					method, types.ExprString(arg))
 			}
 		},
 		onFuncLit: func(fl *ast.FuncLit) { pendingLits = append(pendingLits, fl) },

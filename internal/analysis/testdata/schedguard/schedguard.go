@@ -62,3 +62,26 @@ func allowedAt(e *sim.Engine, t sim.Time) {
 	//gpureach:allow schedguard -- fixture: t validated against the clock by the caller's protocol
 	e.At(t, func() {})
 }
+
+// unguardedAtEvent: the allocation-free handler form is held to the
+// same proof obligation as the closure form.
+func unguardedAtEvent(e *sim.Engine, t sim.Time, h sim.Handler) {
+	e.AtEvent(t, h, nil) // want "may schedule in the past"
+}
+
+// nowDerivedAtEvent is safe for the same reason as nowDerived.
+func nowDerivedAtEvent(e *sim.Engine, d sim.Time, h sim.Handler) {
+	e.AtEvent(e.Now()+d, h, nil)
+}
+
+// portGrantAtEvent is safe: grants are clamped to the clock.
+func portGrantAtEvent(e *sim.Engine, p *sim.Port, latency sim.Time, h sim.Handler) {
+	grant := p.Acquire()
+	e.AtEvent(grant+latency, h, nil)
+}
+
+// staleFieldAtEvent replays a remembered timestamp through the handler
+// form.
+func (s *staleField) fireEvent(h sim.Handler) {
+	s.eng.AtEvent(s.deadline, h, nil) // want "may schedule in the past"
+}

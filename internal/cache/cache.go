@@ -19,6 +19,26 @@ type Memory interface {
 	Access(addr vm.PA, write bool, done func())
 }
 
+// EventMemory is the allocation-free form of Memory: completion is a
+// (Handler, ctx) pair instead of a captured closure. The production
+// memories (Cache, dram.DRAM) implement it; consumers probe for it
+// once at construction and fall back to Access for plain Memory
+// implementations (test fakes).
+type EventMemory interface {
+	Memory
+	AccessEvent(addr vm.PA, write bool, h sim.Handler, ctx any)
+}
+
+// accessEvent routes one access through em when available, else
+// through the closure-based m (ev and m refer to the same backend).
+func accessEvent(m Memory, em EventMemory, addr vm.PA, write bool, h sim.Handler, ctx any) {
+	if em != nil {
+		em.AccessEvent(addr, write, h, ctx)
+		return
+	}
+	m.Access(addr, write, func() { h(ctx) })
+}
+
 // Stats counts cache events.
 type Stats struct {
 	Accesses   uint64
@@ -44,18 +64,39 @@ type line struct {
 	stamp uint64
 }
 
+// waiter is one request merged onto an in-flight miss. Each waiter
+// keeps its own write flag: the line is filled (or re-dirtied) once per
+// requester, exactly as the closure-based MSHR did.
+type waiter struct {
+	h     sim.Handler
+	ctx   any
+	write bool
+}
+
+// miss is the pooled context of one outstanding miss group.
+type miss struct {
+	c       *Cache
+	la      uint64
+	addr    vm.PA
+	waiters []waiter
+}
+
 // Cache is one level of the data hierarchy.
 type Cache struct {
-	name       string
-	eng        *sim.Engine
-	parent     Memory
-	sets       [][]line
+	name     string
+	eng      *sim.Engine
+	parent   Memory
+	parentEv EventMemory // parent, when it supports the event form
+	// lines holds all sets contiguously: set s is lines[s*ways:(s+1)*ways].
+	lines      []line
+	numSets    uint64
 	ways       int
 	lineBits   uint
 	hitLatency sim.Time
 	port       *sim.Port
 	clock      uint64
-	mshr       map[uint64][]func()
+	mshr       map[uint64]*miss
+	missPool   sim.Pool[miss]
 	stats      Stats
 }
 
@@ -97,12 +138,11 @@ func New(eng *sim.Engine, cfg Config, parent Memory) *Cache {
 		lineBits:   lineBits,
 		hitLatency: cfg.HitLatency,
 		port:       sim.NewPort(eng, cfg.PortInterval),
-		sets:       make([][]line, numSets),
-		mshr:       make(map[uint64][]func()),
+		lines:      make([]line, lines),
+		numSets:    uint64(numSets),
+		mshr:       make(map[uint64]*miss),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
+	c.parentEv, _ = parent.(EventMemory)
 	return c
 }
 
@@ -124,12 +164,17 @@ func (c *Cache) lineAddr(addr vm.PA) uint64 { return uint64(addr) >> c.lineBits 
 // that no real memory system exhibits.
 func (c *Cache) set(lineAddr uint64) []line {
 	h := lineAddr ^ lineAddr>>12 ^ lineAddr>>23
-	return c.sets[h%uint64(len(c.sets))]
+	s := h % c.numSets
+	return c.lines[s*uint64(c.ways) : (s+1)*uint64(c.ways)]
 }
 
 // lookup returns the way index of lineAddr in its set, or -1.
 func (c *Cache) lookup(lineAddr uint64) int {
-	set := c.set(lineAddr)
+	return findWay(c.set(lineAddr), lineAddr)
+}
+
+// findWay scans one set for lineAddr, returning its way index or -1.
+func findWay(set []line, lineAddr uint64) int {
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			return i
@@ -143,55 +188,85 @@ func (c *Cache) lookup(lineAddr uint64) int {
 // the parent otherwise). Writes mark the line dirty; dirty victims are
 // written back to the parent asynchronously.
 func (c *Cache) Access(addr vm.PA, write bool, done func()) {
+	c.AccessEvent(addr, write, callClosure, done)
+}
+
+// callClosure adapts the closure-style Access API onto the handler
+// form: the func value rides in the ctx word.
+func callClosure(ctx any) { ctx.(func())() }
+
+// nop discards a completion (fire-and-forget writebacks).
+func nop(any) {}
+
+// missStart issues the in-flight miss's parent access once the tag
+// probe completes.
+func missStart(x any) {
+	m := x.(*miss)
+	accessEvent(m.c.parent, m.c.parentEv, m.addr, false, missDone, m)
+}
+
+// missDone drains an MSHR entry: fill once per requester (each with its
+// own write intent), then complete them in merge order.
+func missDone(x any) {
+	m := x.(*miss)
+	c := m.c
+	delete(c.mshr, m.la)
+	for i := range m.waiters {
+		c.fill(m.la, m.waiters[i].write)
+		m.waiters[i].h(m.waiters[i].ctx)
+	}
+	for i := range m.waiters {
+		m.waiters[i] = waiter{} // release ctx refs before pooling
+	}
+	m.waiters = m.waiters[:0]
+	m.c = nil
+	c.missPool.Put(m)
+}
+
+// AccessEvent is the allocation-free form of Access: h(ctx) runs at
+// completion time.
+func (c *Cache) AccessEvent(addr vm.PA, write bool, h sim.Handler, ctx any) {
 	grant := c.port.Acquire()
 	la := c.lineAddr(addr)
 	c.stats.Accesses++
 	c.clock++
 
-	if w := c.lookup(la); w >= 0 {
-		set := c.set(la)
+	set := c.set(la)
+	if w := findWay(set, la); w >= 0 {
 		set[w].stamp = c.clock
 		if write {
 			set[w].dirty = true
 		}
 		c.stats.Hits++
-		c.eng.At(grant+c.hitLatency, done)
+		c.eng.AtEvent(grant+c.hitLatency, h, ctx)
 		return
 	}
 
 	c.stats.Misses++
-	fill := func() {
-		c.fill(la, write)
-		done()
-	}
-	if waiters, busy := c.mshr[la]; busy {
-		c.mshr[la] = append(waiters, fill)
+	if m, busy := c.mshr[la]; busy {
+		m.waiters = append(m.waiters, waiter{h: h, ctx: ctx, write: write})
 		c.stats.MergedMiss++
 		return
 	}
-	c.mshr[la] = []func(){fill}
-	c.eng.At(grant+c.hitLatency, func() {
-		c.parent.Access(addr, false, func() {
-			waiters := c.mshr[la]
-			delete(c.mshr, la)
-			for _, w := range waiters {
-				w()
-			}
-		})
-	})
+	m := c.missPool.Get()
+	m.c = c
+	m.la = la
+	m.addr = addr
+	m.waiters = append(m.waiters, waiter{h: h, ctx: ctx, write: write})
+	c.mshr[la] = m
+	c.eng.AtEvent(grant+c.hitLatency, missStart, m)
 }
 
 // fill installs lineAddr, evicting LRU and writing back dirty victims.
 func (c *Cache) fill(lineAddr uint64, dirty bool) {
-	if w := c.lookup(lineAddr); w >= 0 {
+	set := c.set(lineAddr)
+	if w := findWay(set, lineAddr); w >= 0 {
 		// Raced with another fill of the same line.
-		set := c.set(lineAddr)
 		if dirty {
 			set[w].dirty = true
 		}
 		return
 	}
-	set := c.set(lineAddr)
 	c.clock++
 	victim := -1
 	for i := range set {
@@ -210,7 +285,7 @@ func (c *Cache) fill(lineAddr uint64, dirty bool) {
 		if set[victim].dirty {
 			c.stats.Writebacks++
 			wbAddr := vm.PA(set[victim].tag << c.lineBits)
-			c.parent.Access(wbAddr, true, func() {})
+			accessEvent(c.parent, c.parentEv, wbAddr, true, nop, nil)
 		}
 		c.stats.Evictions++
 	}
@@ -223,14 +298,12 @@ func (c *Cache) Contains(addr vm.PA) bool { return c.lookup(c.lineAddr(addr)) >=
 
 // Flush invalidates the whole cache, writing back dirty lines.
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].dirty {
-				c.stats.Writebacks++
-				c.parent.Access(vm.PA(set[i].tag<<c.lineBits), true, func() {})
-			}
-			set[i] = line{}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.stats.Writebacks++
+			accessEvent(c.parent, c.parentEv, vm.PA(c.lines[i].tag<<c.lineBits), true, nop, nil)
 		}
+		c.lines[i] = line{}
 	}
 }
 

@@ -37,9 +37,15 @@ func RunExp(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "footprint/instruction scale factor")
 	apps := fs.String("apps", "", "comma-separated workload subset (default: all ten)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	prof := AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := prof.Start(stderr); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer prof.Stop(stderr)
 
 	if *list || *exp == "" {
 		fmt.Fprintln(stdout, "experiments:")

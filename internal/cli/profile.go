@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiling carries the -cpuprofile/-memprofile/-trace flags shared by
+// the gpureach subcommands. Profiles observe wall-clock and scheduler
+// state, so (like progress reporting) they live outside the simulated
+// clock's determinism contract: they never touch stdout.
+type Profiling struct {
+	cpu  *string
+	mem  *string
+	tr   *string
+	cpuF *os.File
+	trF  *os.File
+}
+
+// AddProfileFlags registers the profiling flags on fs and returns the
+// handle to start/stop them around the command's work.
+func AddProfileFlags(fs *flag.FlagSet) *Profiling {
+	p := &Profiling{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	p.mem = fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	p.tr = fs.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
+	return p
+}
+
+// Start begins CPU profiling and execution tracing if requested. It
+// must be paired with Stop (normally via defer).
+func (p *Profiling) Start(stderr io.Writer) error {
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuF = f
+	}
+	if *p.tr != "" {
+		f, err := os.Create(*p.tr)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		p.trF = f
+	}
+	return nil
+}
+
+// Stop finishes any active CPU profile and trace, and writes the heap
+// profile if one was requested. Errors are reported to stderr rather
+// than returned: by the time Stop runs the command's real work (and
+// exit code) is already decided.
+func (p *Profiling) Stop(stderr io.Writer) {
+	if p.cpuF != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuF.Close(); err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+		}
+		p.cpuF = nil
+	}
+	if p.trF != nil {
+		trace.Stop()
+		if err := p.trF.Close(); err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+		}
+		p.trF = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+		}
+	}
+}

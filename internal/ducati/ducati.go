@@ -13,6 +13,7 @@ package ducati
 
 import (
 	"gpureach/internal/cache"
+	"gpureach/internal/sim"
 	"gpureach/internal/tlb"
 	"gpureach/internal/vm"
 )
@@ -45,10 +46,24 @@ type slot struct {
 // POM-TLB / DUCATI): slot i lives at base + 8i, so a lookup is one
 // 8-byte load through the LLC and a fill one store.
 type Store struct {
-	mem   cache.Memory
-	base  vm.PA
-	slots []slot
-	stats Stats
+	mem     cache.Memory
+	memEv   cache.EventMemory // mem, when it supports the event form
+	base    vm.PA
+	slots   []slot
+	reqPool sim.Pool[lookupReq]
+	stats   Stats
+}
+
+// LookupHandler receives the outcome of a LookupEvent probe.
+type LookupHandler func(ctx any, e tlb.Entry, ok bool)
+
+// lookupReq is the pooled context of one in-memory probe.
+type lookupReq struct {
+	s   *Store
+	key tlb.Key
+	i   int
+	h   LookupHandler
+	ctx any
 }
 
 // New creates a store of `entries` slots at physical address base,
@@ -57,7 +72,9 @@ func New(mem cache.Memory, base vm.PA, entries int) *Store {
 	if entries <= 0 {
 		panic("ducati: need at least one slot")
 	}
-	return &Store{mem: mem, base: base, slots: make([]slot, entries)}
+	s := &Store{mem: mem, base: base, slots: make([]slot, entries)}
+	s.memEv, _ = mem.(cache.EventMemory)
+	return s
 }
 
 // Capacity returns the number of slots.
@@ -77,18 +94,49 @@ func (s *Store) slotAddr(i int) vm.PA { return s.base + vm.PA(i*8) }
 // Lookup probes the store for key. The probe costs one memory access
 // through the LLC; done receives the entry and whether it was present.
 func (s *Store) Lookup(key tlb.Key, done func(tlb.Entry, bool)) {
+	s.LookupEvent(key, callLookupClosure, done)
+}
+
+// callLookupClosure adapts the closure-style Lookup API onto the
+// handler form: the func value rides in the ctx word.
+func callLookupClosure(ctx any, e tlb.Entry, ok bool) { ctx.(func(tlb.Entry, bool))(e, ok) }
+
+// LookupEvent is the allocation-free form of Lookup: h(ctx, entry, ok)
+// runs when the LLC access completes.
+func (s *Store) LookupEvent(key tlb.Key, h LookupHandler, ctx any) {
 	s.stats.Lookups++
 	i := s.index(key)
-	s.mem.Access(s.slotAddr(i), false, func() {
-		sl := s.slots[i]
-		if sl.valid && sl.key == key {
-			s.stats.Hits++
-			done(sl.entry, true)
-			return
-		}
-		done(tlb.Entry{}, false)
-	})
+	r := s.reqPool.Get()
+	r.s = s
+	r.key = key
+	r.i = i
+	r.h = h
+	r.ctx = ctx
+	if s.memEv != nil {
+		s.memEv.AccessEvent(s.slotAddr(i), false, lookupDone, r)
+		return
+	}
+	s.mem.Access(s.slotAddr(i), false, func() { lookupDone(r) })
 }
+
+// lookupDone inspects the probed slot once the LLC read returns.
+func lookupDone(x any) {
+	r := x.(*lookupReq)
+	s := r.s
+	h, ctx, key := r.h, r.ctx, r.key
+	sl := s.slots[r.i]
+	r.s, r.h, r.ctx = nil, nil, nil
+	s.reqPool.Put(r)
+	if sl.valid && sl.key == key {
+		s.stats.Hits++
+		h(ctx, sl.entry, true)
+		return
+	}
+	h(ctx, tlb.Entry{}, false)
+}
+
+// nop discards a completion (fire-and-forget fills).
+func nop(any) {}
 
 // Fill stores e, overwriting whatever occupied its slot. The store is a
 // write-through memory write via the LLC (fire and forget — fills are
@@ -101,6 +149,10 @@ func (s *Store) Fill(e tlb.Entry) {
 	}
 	s.slots[i] = slot{key: key, entry: e, valid: true}
 	s.stats.Fills++
+	if s.memEv != nil {
+		s.memEv.AccessEvent(s.slotAddr(i), true, nop, nil)
+		return
+	}
 	s.mem.Access(s.slotAddr(i), true, func() {})
 }
 

@@ -65,7 +65,13 @@ type CUStats struct {
 	Fetches      uint64
 	IBHits       uint64
 	Prefetches   uint64
-	WGsRun       uint64
+	// FetchesMerged counts demand fetches that rode an in-flight fill
+	// of the same line instead of issuing a duplicate L2 read;
+	// PrefetchesMerged counts next-line prefetches squashed for the
+	// same reason (MSHR-style dedup in the I-cache).
+	FetchesMerged    uint64
+	PrefetchesMerged uint64
+	WGsRun           uint64
 }
 
 type simdUnit struct {
@@ -80,15 +86,56 @@ type CU struct {
 	cfg Config
 	sys *System
 
-	LDS    *lds.LDS
-	IC     *icache.ICache
-	ICBack cache.Memory // services I-cache misses (the shared L2)
-	L1D    *cache.Cache
-	Xlat   *Xlat
+	LDS      *lds.LDS
+	IC       *icache.ICache
+	ICBack   cache.Memory      // services I-cache misses (the shared L2)
+	icBackEv cache.EventMemory // ICBack, when it supports the event form
+	L1D      *cache.Cache
+	Xlat     *Xlat
 
 	simds       []*simdUnit
 	activeWaves int
-	stats       CUStats
+
+	fetchPool sim.Pool[fetchReq]
+	memPool   sim.Pool[memReq]
+	groupPool sim.Pool[pageGroup]
+	// gscratch is the per-CU page-grouping scratch reused by every
+	// memAccess call. Safe because grouping is confined to one
+	// synchronous memAccessEvent invocation: translations never
+	// complete before the issuing loop returns.
+	gscratch []*pageGroup
+
+	stats CUStats
+}
+
+// fetchReq is the pooled context of one instruction fetch or prefetch
+// travelling I-cache → L2.
+type fetchReq struct {
+	cu   *CU
+	addr vm.PA
+	h    sim.Handler
+	ctx  any
+}
+
+// memReq is the pooled context of one wave memory instruction: it
+// tracks the SIMT-lockstep completion count across the instruction's
+// unique cache lines.
+type memReq struct {
+	cu        *CU
+	remaining int
+	write     bool
+	pageBits  uint
+	h         sim.Handler
+	ctx       any
+}
+
+// pageGroup collects the unique page-relative line offsets of one
+// page touched by a memory instruction. Lane counts are ≤64, so small
+// slices beat maps here.
+type pageGroup struct {
+	req   *memReq
+	vpn   vm.VPN
+	lines []uint64
 }
 
 // NewCU assembles a compute unit from its structures. The system
@@ -104,6 +151,7 @@ func NewCU(eng *sim.Engine, id int, cfg Config, ldsUnit *lds.LDS, ic *icache.ICa
 		L1D:    l1d,
 		Xlat:   xlat,
 	}
+	cu.icBackEv, _ = icBack.(cache.EventMemory)
 	for i := 0; i < cfg.SIMDsPerCU; i++ {
 		cu.simds = append(cu.simds, &simdUnit{issue: sim.NewPort(eng, 1)})
 	}
@@ -133,6 +181,16 @@ func (cu *CU) leastLoadedSIMD() *simdUnit {
 // background — the IC_prefetches events of the paper's Equation 1 —
 // which keeps straight-line code from stalling on every line boundary.
 func (cu *CU) fetch(addr vm.PA, done func()) {
+	cu.fetchEvent(addr, callClosure, done)
+}
+
+// callClosure adapts the closure-style entry points onto the handler
+// form: the func value rides in the ctx word.
+func callClosure(ctx any) { ctx.(func())() }
+
+// fetchEvent is the allocation-free form of fetch: h(ctx) runs when
+// the instruction is available.
+func (cu *CU) fetchEvent(addr vm.PA, h sim.Handler, ctx any) {
 	cu.stats.Fetches++
 	hit, finish := cu.IC.Fetch(addr)
 
@@ -142,23 +200,96 @@ func (cu *CU) fetch(addr vm.PA, done func()) {
 	next := addr + vm.PA(cu.cfg.LineBytes)
 	if !cu.IC.HasInstr(next) {
 		cu.stats.Prefetches++
-		cu.eng.At(finish, func() {
-			cu.ICBack.Access(next, false, func() {
-				cu.IC.FillInstr(next)
-			})
-		})
+		r := cu.fetchPool.Get()
+		r.cu = cu
+		r.addr = next
+		cu.eng.AtEvent(finish, prefetchStart, r)
 	}
 
 	if hit {
-		cu.eng.At(finish, done)
+		cu.eng.AtEvent(finish, h, ctx)
 		return
 	}
-	cu.eng.At(finish, func() {
-		cu.ICBack.Access(addr, false, func() {
-			cu.IC.FillInstr(addr)
-			done()
-		})
-	})
+	r := cu.fetchPool.Get()
+	r.cu = cu
+	r.addr = addr
+	r.h = h
+	r.ctx = ctx
+	cu.eng.AtEvent(finish, fetchMissStart, r)
+}
+
+func (cu *CU) putFetch(r *fetchReq) {
+	r.cu = nil
+	r.h = nil
+	r.ctx = nil
+	cu.fetchPool.Put(r)
+}
+
+// prefetchStart issues the background next-line L2 read once the
+// I-cache probe completes — unless another fetch unit already has that
+// line's fill in flight, in which case the duplicate read is squashed.
+func prefetchStart(x any) {
+	r := x.(*fetchReq)
+	cu := r.cu
+	if !cu.IC.StartFill(r.addr) {
+		cu.stats.PrefetchesMerged++
+		cu.putFetch(r)
+		return
+	}
+	if cu.icBackEv != nil {
+		cu.icBackEv.AccessEvent(r.addr, false, prefetchDone, r)
+		return
+	}
+	cu.ICBack.Access(r.addr, false, func() { prefetchDone(r) })
+}
+
+// prefetchDone installs a completed background prefetch and wakes any
+// demand fetches that merged onto it.
+func prefetchDone(x any) {
+	r := x.(*fetchReq)
+	cu := r.cu
+	cu.IC.CompleteFill(r.addr)
+	cu.putFetch(r)
+}
+
+// fetchMissStart issues the demand L2 read once the I-cache probe
+// completes. If the line's fill is already in flight (another wave's
+// miss or a background prefetch), the fetch merges onto it instead of
+// issuing a duplicate L2 read.
+func fetchMissStart(x any) {
+	r := x.(*fetchReq)
+	cu := r.cu
+	if !cu.IC.StartFill(r.addr) {
+		cu.stats.FetchesMerged++
+		cu.IC.WaitFill(r.addr, fetchMergedDone, r)
+		return
+	}
+	if cu.icBackEv != nil {
+		cu.icBackEv.AccessEvent(r.addr, false, fetchMissDone, r)
+		return
+	}
+	cu.ICBack.Access(r.addr, false, func() { fetchMissDone(r) })
+}
+
+// fetchMissDone installs the demand line, wakes merged requesters, then
+// resumes the owning wave.
+func fetchMissDone(x any) {
+	r := x.(*fetchReq)
+	cu := r.cu
+	cu.IC.CompleteFill(r.addr)
+	h, ctx := r.h, r.ctx
+	cu.putFetch(r)
+	h(ctx)
+}
+
+// fetchMergedDone resumes a wave whose fetch rode another request's
+// fill.
+func fetchMergedDone(x any) {
+	r := x.(*fetchReq)
+	cu := r.cu
+	h, ctx := r.h, r.ctx
+	cu.putFetch(r)
+	h(ctx)
 }
 
 // memAccess issues one wave memory instruction: lane addresses are
@@ -167,62 +298,95 @@ func (cu *CU) fetch(addr vm.PA, done func()) {
 // SIMT lockstep (§3.1: "a single wavefront might have to wait for many
 // page table walks to resolve").
 func (cu *CU) memAccess(space *vm.AddrSpace, addrs []vm.VA, write bool, done func()) {
+	cu.memAccessEvent(space, addrs, write, callClosure, done)
+}
+
+// memAccessEvent is the allocation-free form of memAccess: h(ctx) runs
+// when every coalesced line completes.
+func (cu *CU) memAccessEvent(space *vm.AddrSpace, addrs []vm.VA, write bool, h sim.Handler, ctx any) {
 	if len(addrs) == 0 {
-		done()
+		h(ctx)
 		return
 	}
 	pageBits := space.PageSize().Bits()
 	lineMask := ^(uint64(cu.cfg.LineBytes) - 1)
 
-	// Group unique lines under unique pages. Lane counts are ≤64, so
-	// small slices beat maps here.
-	type pageGroup struct {
-		vpn   vm.VPN
-		lines []uint64 // page-relative line offsets
-	}
-	groups := make([]pageGroup, 0, 8)
+	// Group unique lines under unique pages, reusing the CU's scratch
+	// group list and each group's retained line capacity.
+	groups := cu.gscratch[:0]
 	for _, va := range addrs {
 		vpn := vm.VPN(uint64(va) >> pageBits)
 		off := uint64(va) & ((1 << pageBits) - 1) & lineMask
-		gi := -1
-		for i := range groups {
-			if groups[i].vpn == vpn {
-				gi = i
+		var g *pageGroup
+		for _, cand := range groups {
+			if cand.vpn == vpn {
+				g = cand
 				break
 			}
 		}
-		if gi < 0 {
-			groups = append(groups, pageGroup{vpn: vpn})
-			gi = len(groups) - 1
+		if g == nil {
+			g = cu.groupPool.Get()
+			g.vpn = vpn
+			groups = append(groups, g)
 		}
 		dup := false
-		for _, l := range groups[gi].lines {
+		for _, l := range g.lines {
 			if l == off {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			groups[gi].lines = append(groups[gi].lines, off)
+			g.lines = append(g.lines, off)
 		}
 	}
 
+	r := cu.memPool.Get()
+	r.cu = cu
+	r.write = write
+	r.pageBits = pageBits
+	r.h = h
+	r.ctx = ctx
 	remaining := 0
-	for i := range groups {
-		remaining += len(groups[i].lines)
+	for _, g := range groups {
+		remaining += len(g.lines)
 	}
-	for i := range groups {
-		g := groups[i]
-		cu.Xlat.Translate(space, g.vpn, func(e tlb.Entry) {
-			base := vm.PA(uint64(e.PFN) << pageBits)
-			for _, off := range g.lines {
-				cu.L1D.Access(base+vm.PA(off), write, func() {
-					remaining--
-					if remaining == 0 {
-						done()
-					}
-				})
-			}
-		})
+	r.remaining = remaining
+	for _, g := range groups {
+		g.req = r
+		cu.Xlat.TranslateEvent(space, g.vpn, memTranslated, g)
+	}
+	cu.gscratch = groups[:0]
+}
+
+// memTranslated fans one page's coalesced lines into the L1 data cache
+// once its translation resolves. The group is recycled immediately:
+// line completions carry the shared memReq, not the group.
+func memTranslated(x any, e tlb.Entry) {
+	g := x.(*pageGroup)
+	r := g.req
+	cu := r.cu
+	base := vm.PA(uint64(e.PFN) << r.pageBits)
+	for _, off := range g.lines {
+		cu.L1D.AccessEvent(base+vm.PA(off), r.write, memLineDone, r)
+	}
+	g.req = nil
+	g.lines = g.lines[:0]
+	cu.groupPool.Put(g)
+}
+
+// memLineDone retires one cache-line completion; the last line of the
+// instruction wakes the wave (SIMT lockstep).
+func memLineDone(x any) {
+	r := x.(*memReq)
+	r.remaining--
+	if r.remaining == 0 {
+		cu := r.cu
+		h, ctx := r.h, r.ctx
+		r.cu = nil
+		r.h = nil
+		r.ctx = nil
+		cu.memPool.Put(r)
+		h(ctx)
 	}
 }

@@ -233,7 +233,7 @@ func (s *System) dispatchContext(ctx *Context) {
 			// into the same phase and the data caches see worst-case
 			// synchronized thrash.
 			stagger := sim.Time((local*797 + i*211) % 4093)
-			s.Eng.After(stagger, w.step)
+			s.Eng.AfterEvent(stagger, waveStep, w)
 		}
 	}
 }
@@ -274,6 +274,8 @@ func (s *System) TotalStats() CUStats {
 		t.Fetches += st.Fetches
 		t.IBHits += st.IBHits
 		t.Prefetches += st.Prefetches
+		t.FetchesMerged += st.FetchesMerged
+		t.PrefetchesMerged += st.PrefetchesMerged
 		t.WGsRun += st.WGsRun
 	}
 	return t

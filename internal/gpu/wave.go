@@ -82,18 +82,32 @@ func (w *wave) step() {
 		w.issue()
 		return
 	}
-	w.cu.fetch(pc, func() {
-		w.ibFill(lineTag)
-		w.issue()
-	})
+	w.cu.fetchEvent(pc, waveFetched, w)
 }
+
+// waveFetched resumes a wave whose instruction fetch completed. The
+// fetched line tag is recomputed from the (unchanged) program counter,
+// so the event carries only the wave pointer.
+func waveFetched(x any) {
+	w := x.(*wave)
+	pc := w.pc()
+	w.ibFill(uint64(pc) / uint64(w.cu.cfg.LineBytes))
+	w.issue()
+}
+
+// waveStep, waveExecute and waveAdvance are the wave state-machine
+// transitions in handler form (ctx is the *wave), so scheduling one
+// does not allocate a method-value closure.
+func waveStep(x any)    { x.(*wave).step() }
+func waveExecute(x any) { x.(*wave).execute() }
+func waveAdvance(x any) { x.(*wave).advance() }
 
 // issue arbitrates for the SIMD issue port and executes the
 // instruction. Other waves on the same SIMD interleave through the same
 // port — this is where the GPU's latency hiding comes from.
 func (w *wave) issue() {
 	grant := w.simd.issue.Acquire()
-	w.cu.eng.At(grant, w.execute)
+	w.cu.eng.AtEvent(grant, waveExecute, w)
 }
 
 func (w *wave) execute() {
@@ -110,11 +124,11 @@ func (w *wave) execute() {
 		addrs := w.k.Mem(w.wg, w.id, w.memK, w.scratch[:0])
 		write := w.k.WriteEvery > 0 && w.memK%w.k.WriteEvery == w.k.WriteEvery-1
 		w.memK++
-		cu.memAccess(w.space, addrs, write, w.advance)
+		cu.memAccessEvent(w.space, addrs, write, waveAdvance, w)
 	case isLDS:
 		cu.stats.LDSInstrs++
 		finish := cu.LDS.AppAccess()
-		cu.eng.At(finish, w.advance)
+		cu.eng.AtEvent(finish, waveAdvance, w)
 	default:
 		// A small persistent per-wave bias models scheduler arbitration
 		// unfairness. It accumulates every instruction, so co-resident
@@ -122,7 +136,7 @@ func (w *wave) execute() {
 		// the synchronized surge/stall convoys that perfectly uniform
 		// cadences sustain.
 		bias := sim.Time(w.wgToken*7+w.id*3) % 6
-		cu.eng.After(cu.cfg.ALULatency+bias, w.advance)
+		cu.eng.AfterEvent(cu.cfg.ALULatency+bias, waveAdvance, w)
 	}
 }
 

@@ -12,11 +12,26 @@ import (
 // per-page coalescer, sitting above the victim path (LDS → I-cache →
 // L2 TLB → IOMMU).
 type Xlat struct {
-	eng  *sim.Engine
-	l1   *tlb.TLB
-	lat  sim.Time
-	coal *tlb.Coalescer
-	path *victim.Path
+	eng     *sim.Engine
+	l1      *tlb.TLB
+	lat     sim.Time
+	coal    *tlb.Coalescer
+	path    *victim.Path
+	reqPool sim.Pool[xlatReq]
+}
+
+// xlatReq is the pooled context of one L1-TLB lookup, reused across
+// the probe → victim-path event chain.
+type xlatReq struct {
+	x     *Xlat
+	space *vm.AddrSpace
+	vpn   vm.VPN
+	key   tlb.Key
+}
+
+func (x *Xlat) put(r *xlatReq) {
+	r.space = nil
+	x.reqPool.Put(r)
 }
 
 // NewXlat builds a CU translation front end over path.
@@ -48,23 +63,53 @@ func (x *Xlat) Path() *victim.Path { return x.path }
 // at the shared L2-TLB port and the model falls into convoy equilibria
 // that real arbiters never sustain.
 func (x *Xlat) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	x.TranslateEvent(space, vpn, callEntryClosure, done)
+}
+
+// callEntryClosure adapts the closure-style Translate API onto the
+// handler form: the func value rides in the ctx word.
+func callEntryClosure(ctx any, e tlb.Entry) { ctx.(func(tlb.Entry))(e) }
+
+// TranslateEvent is the allocation-free form of Translate: h(ctx, e)
+// runs with the resolved entry.
+func (x *Xlat) TranslateEvent(space *vm.AddrSpace, vpn vm.VPN, h tlb.EntryHandler, ctx any) {
 	key := tlb.MakeKey(space.ID, vpn)
-	if !x.coal.Join(key, done) {
+	if !x.coal.JoinEvent(key, h, ctx) {
 		return
 	}
 	jitter := sim.Time((uint64(key)*0x9E3779B97F4A7C15)>>59) & 15
-	x.eng.After(x.lat+jitter, func() {
-		if e, ok := x.l1.Lookup(key); ok {
-			x.coal.Complete(key, e)
-			return
-		}
-		x.path.Translate(space, vpn, func(e tlb.Entry) {
-			if victimEntry, evicted := x.l1.Insert(e); evicted {
-				x.path.FillVictim(victimEntry)
-			}
-			x.coal.Complete(key, e)
-		})
-	})
+	r := x.reqPool.Get()
+	r.x = x
+	r.space = space
+	r.vpn = vpn
+	r.key = key
+	x.eng.AfterEvent(x.lat+jitter, xlatProbe, r)
+}
+
+// xlatProbe runs when the L1-TLB array access completes.
+func xlatProbe(c any) {
+	r := c.(*xlatReq)
+	x := r.x
+	if e, ok := x.l1.Lookup(r.key); ok {
+		key := r.key
+		x.put(r)
+		x.coal.Complete(key, e)
+		return
+	}
+	x.path.TranslateEvent(r.space, r.vpn, xlatFillDone, r)
+}
+
+// xlatFillDone promotes a victim-path result into the L1 TLB; the
+// displaced L1 victim re-enters the Figure 12 fill flow.
+func xlatFillDone(c any, e tlb.Entry) {
+	r := c.(*xlatReq)
+	x := r.x
+	if victimEntry, evicted := x.l1.Insert(e); evicted {
+		x.path.FillVictim(victimEntry)
+	}
+	key := r.key
+	x.put(r)
+	x.coal.Complete(key, e)
 }
 
 // Shootdown invalidates vpn in the L1 TLB and this CU's victim

@@ -145,8 +145,22 @@ type ICache struct {
 	clock uint64
 	stats Stats
 
+	// fills tracks in-flight instruction-line fills (MSHR-style): the
+	// first fetch unit to miss on a line owns the backing fetch; later
+	// requesters for the same line merge onto it instead of multiplying
+	// L2 traffic.
+	fills map[uint64][]fillWaiter
+	// freeWaiters recycles drained waiter slices.
+	freeWaiters [][]fillWaiter
+
 	fillsThisKernel uint64
 	lastKernel      string
+}
+
+// fillWaiter is one request merged onto an in-flight line fill.
+type fillWaiter struct {
+	h   sim.Handler
+	ctx any
 }
 
 // New builds an I-cache on engine eng.
@@ -158,7 +172,12 @@ func New(eng *sim.Engine, cfg Config) *ICache {
 	if lines%cfg.Ways != 0 {
 		panic("icache: lines not divisible by ways")
 	}
-	c := &ICache{cfg: cfg, eng: eng, port: sim.NewPort(eng, cfg.PortInterval)}
+	c := &ICache{
+		cfg:   cfg,
+		eng:   eng,
+		port:  sim.NewPort(eng, cfg.PortInterval),
+		fills: make(map[uint64][]fillWaiter),
+	}
 	numSets := lines / cfg.Ways
 	c.sets = make([][]line, numSets)
 	for s := range c.sets {
@@ -288,6 +307,72 @@ func (c *ICache) FillInstr(addr vm.PA) {
 	set[victim].tag = la
 	set[victim].stamp = c.clock
 }
+
+// --- in-flight fill tracking (MSHR-style dedup) --------------------------
+
+// FillPending reports whether a fill for the line containing addr is
+// already in flight.
+func (c *ICache) FillPending(addr vm.PA) bool {
+	_, la := c.instrSet(addr)
+	_, busy := c.fills[la]
+	return busy
+}
+
+// StartFill claims ownership of the backing fetch for addr's line. It
+// returns true when the caller must issue the fetch and later call
+// CompleteFill; false when another fetch already has the fill in flight
+// (merge onto it with WaitFill).
+func (c *ICache) StartFill(addr vm.PA) bool {
+	_, la := c.instrSet(addr)
+	if _, busy := c.fills[la]; busy {
+		return false
+	}
+	var ws []fillWaiter
+	if n := len(c.freeWaiters); n > 0 {
+		ws = c.freeWaiters[n-1]
+		c.freeWaiters[n-1] = nil
+		c.freeWaiters = c.freeWaiters[:n-1]
+	}
+	c.fills[la] = ws
+	return true
+}
+
+// WaitFill registers h(ctx) to run when the in-flight fill for addr's
+// line completes. The caller must have seen StartFill return false.
+func (c *ICache) WaitFill(addr vm.PA, h sim.Handler, ctx any) {
+	_, la := c.instrSet(addr)
+	ws, busy := c.fills[la]
+	if !busy {
+		//gpureach:allow simerr -- WaitFill without StartFill is a fetch-unit wiring bug, caught by the first merged fetch of any run
+		panic("icache: WaitFill without an in-flight fill")
+	}
+	c.fills[la] = append(ws, fillWaiter{h: h, ctx: ctx})
+}
+
+// CompleteFill installs the fetched line and wakes every merged waiter
+// in registration order. It drains waiters even when the install races
+// an already-resident line (FillInstr's early-return path): the merged
+// fetch units are waiting on the data, not on the array write.
+func (c *ICache) CompleteFill(addr vm.PA) {
+	c.FillInstr(addr)
+	_, la := c.instrSet(addr)
+	ws, busy := c.fills[la]
+	if !busy {
+		return
+	}
+	delete(c.fills, la)
+	for i := range ws {
+		ws[i].h(ws[i].ctx)
+	}
+	for i := range ws {
+		ws[i] = fillWaiter{} // release ctx refs before recycling
+	}
+	c.freeWaiters = append(c.freeWaiters, ws[:0])
+}
+
+// FillsInflight returns the number of lines with an in-flight fill
+// (diagnostics).
+func (c *ICache) FillsInflight() int { return len(c.fills) }
 
 // --- translation side ---------------------------------------------------
 

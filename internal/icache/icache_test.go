@@ -340,3 +340,82 @@ func TestCompressionRejectCounted(t *testing.T) {
 		t.Errorf("CompressionRejects = %d", c.Stats().CompressionRejects)
 	}
 }
+
+// --- MSHR-style in-flight fill dedup -------------------------------------
+
+func TestStartFillClaimsOwnership(t *testing.T) {
+	c := newDUT(nil)
+	addr := vm.PA(0x1000)
+	if !c.StartFill(addr) {
+		t.Fatal("first StartFill should own the fill")
+	}
+	if c.StartFill(addr) {
+		t.Fatal("second StartFill for the same line should merge")
+	}
+	if !c.FillPending(addr) {
+		t.Fatal("FillPending should report the in-flight fill")
+	}
+	if c.FillsInflight() != 1 {
+		t.Fatalf("FillsInflight = %d, want 1", c.FillsInflight())
+	}
+	c.CompleteFill(addr)
+	if c.FillPending(addr) {
+		t.Fatal("CompleteFill should clear the in-flight state")
+	}
+	if !c.HasInstr(addr) {
+		t.Fatal("CompleteFill should install the line")
+	}
+	if !c.StartFill(addr) {
+		t.Fatal("a new StartFill after completion should own again")
+	}
+}
+
+func TestCompleteFillWakesWaitersInOrder(t *testing.T) {
+	c := newDUT(nil)
+	addr := vm.PA(0x2000)
+	if !c.StartFill(addr) {
+		t.Fatal("owner should claim the fill")
+	}
+	var order []int
+	record := func(ctx any) { order = append(order, ctx.(int)) }
+	for i := 1; i <= 3; i++ {
+		if c.StartFill(addr) {
+			t.Fatalf("waiter %d should not own the fill", i)
+		}
+		c.WaitFill(addr, record, i)
+	}
+	c.CompleteFill(addr)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("waiters drained as %v, want [1 2 3]", order)
+	}
+}
+
+func TestCompleteFillDrainsWaitersOnRacedInstall(t *testing.T) {
+	c := newDUT(nil)
+	addr := vm.PA(0x3000)
+	if !c.StartFill(addr) {
+		t.Fatal("owner should claim the fill")
+	}
+	woken := false
+	c.WaitFill(addr, func(any) { woken = true }, nil)
+	// Another path installs the line before the owner's fill returns
+	// (e.g. a kernel-boundary refetch): the waiters must still drain.
+	c.FillInstr(addr)
+	c.CompleteFill(addr)
+	if !woken {
+		t.Fatal("waiter not drained when the install raced")
+	}
+}
+
+func TestFillDedupDistinguishesLines(t *testing.T) {
+	c := newDUT(nil)
+	a, b := vm.PA(0x1000), vm.PA(0x1040)
+	if !c.StartFill(a) || !c.StartFill(b) {
+		t.Fatal("fills of distinct lines are independent")
+	}
+	c.CompleteFill(a)
+	if !c.FillPending(b) {
+		t.Fatal("completing one line must not clear another")
+	}
+	c.CompleteFill(b)
+}

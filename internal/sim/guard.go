@@ -56,15 +56,33 @@ func (e *SimError) Error() string {
 // Snapshot returns the current engine state with up to maxNext queued
 // event times (sorted ascending).
 func (e *Engine) Snapshot(maxNext int) QueueSnapshot {
-	times := make([]Time, len(e.queue))
-	for i := range e.queue {
-		times[i] = e.queue[i].at
+	pending := e.Pending()
+	times := make([]Time, 0, pending)
+	for idx := range e.buckets {
+		n := len(e.buckets[idx])
+		t := e.calCycle(idx)
+		if t == e.now {
+			n -= e.curHead // skip the already-dispatched prefix
+		}
+		for i := 0; i < n; i++ {
+			times = append(times, t)
+		}
+	}
+	for i := range e.heap {
+		times = append(times, e.heap[i].at)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	if len(times) > maxNext {
 		times = times[:maxNext]
 	}
-	return QueueSnapshot{Now: e.now, EventsRun: e.events, Pending: len(e.queue), NextTimes: times}
+	return QueueSnapshot{Now: e.now, EventsRun: e.events, Pending: pending, NextTimes: times}
+}
+
+// calCycle maps a bucket index back to the absolute cycle it currently
+// represents: the unique t ∈ [now, now+calWindow) with t ≡ idx.
+func (e *Engine) calCycle(idx int) Time {
+	delta := (idx - int(e.now%calWindow) + calWindow) % calWindow
+	return e.now + Time(delta)
 }
 
 // Failf panics with a *SimError stamped with the engine's current queue
@@ -126,12 +144,16 @@ func (e *Engine) RunGuarded(g GuardConfig) error {
 	start := e.events
 	lastNow := e.now
 	var sameCycle uint64
-	for len(e.queue) > 0 {
+	for {
+		next, ok := e.peekTime()
+		if !ok {
+			return nil
+		}
 		if g.MaxEvents > 0 && e.events-start >= g.MaxEvents {
 			return e.watchdogErr("event budget of %d exhausted", g.MaxEvents)
 		}
-		if g.MaxCycles > 0 && e.queue[0].at > g.MaxCycles {
-			return e.watchdogErr("cycle horizon %d exceeded (next event at %d)", g.MaxCycles, e.queue[0].at)
+		if g.MaxCycles > 0 && next > g.MaxCycles {
+			return e.watchdogErr("cycle horizon %d exceeded (next event at %d)", g.MaxCycles, next)
 		}
 		e.Step()
 		if e.now != lastNow {
@@ -144,7 +166,6 @@ func (e *Engine) RunGuarded(g GuardConfig) error {
 			return e.watchdogErr("no forward progress: %d consecutive events at cycle %d", sameCycle, e.now)
 		}
 	}
-	return nil
 }
 
 func (e *Engine) watchdogErr(format string, args ...interface{}) *SimError {

@@ -1,0 +1,32 @@
+package sim
+
+// Pool is a free list for pooled event payloads: the per-request
+// context objects that ride through AtEvent instead of captured
+// closures. It is deliberately not concurrency-safe — the engine is
+// single-threaded, and going through sync.Pool would cost more than
+// the allocation it saves here.
+//
+// Callers own field hygiene: Get may return a previously Put object
+// with its old field values, and Put should clear any references the
+// object holds if they would otherwise pin memory.
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get returns a recycled *T, or a fresh zero-valued one when the free
+// list is empty.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put returns x to the free list. x must no longer be referenced by
+// any pending event.
+func (p *Pool[T]) Put(x *T) {
+	p.free = append(p.free, x)
+}

@@ -7,24 +7,53 @@ package tlb
 // the real lookup; later requesters for the same key ride along and are
 // all completed together.
 type Coalescer struct {
-	inflight map[Key][]func(Entry)
+	inflight map[Key][]waiter
+	// freeLists recycles drained waiter slices: steady-state joins then
+	// append into retained capacity instead of allocating.
+	freeLists [][]waiter
 	// Merged counts requests that piggybacked on an in-flight miss.
 	Merged uint64
 	// Started counts misses that went down the memory system.
 	Started uint64
 }
 
+// EntryHandler is the completion callback form used on the translation
+// hot path: a plain function pointer plus a payload word, so joining a
+// coalescer does not allocate a closure per request.
+type EntryHandler func(ctx any, e Entry)
+
+type waiter struct {
+	h   EntryHandler
+	ctx any
+}
+
 // NewCoalescer returns an empty coalescer.
 func NewCoalescer() *Coalescer {
-	return &Coalescer{inflight: make(map[Key][]func(Entry))}
+	return &Coalescer{inflight: make(map[Key][]waiter)}
 }
+
+// callEntryClosure adapts the closure-style Join API onto the handler
+// form: the func value itself rides in the ctx word.
+func callEntryClosure(ctx any, e Entry) { ctx.(func(Entry))(e) }
 
 // Join registers done to be called when key's translation resolves.
 // It reports whether the caller is the first requester and must start
 // the actual translation; subsequent callers are merged.
 func (c *Coalescer) Join(key Key, done func(Entry)) (first bool) {
+	return c.JoinEvent(key, callEntryClosure, done)
+}
+
+// JoinEvent is the allocation-free form of Join: h(ctx, entry) runs
+// when key resolves.
+func (c *Coalescer) JoinEvent(key Key, h EntryHandler, ctx any) (first bool) {
 	waiters, exists := c.inflight[key]
-	c.inflight[key] = append(waiters, done)
+	if !exists && len(c.freeLists) > 0 {
+		n := len(c.freeLists) - 1
+		waiters = c.freeLists[n]
+		c.freeLists[n] = nil
+		c.freeLists = c.freeLists[:n]
+	}
+	c.inflight[key] = append(waiters, waiter{h: h, ctx: ctx})
 	if exists {
 		c.Merged++
 		return false
@@ -37,11 +66,18 @@ func (c *Coalescer) Join(key Key, done func(Entry)) (first bool) {
 // Completing a key with no waiters is a no-op (it can happen when a
 // shootdown raced the completion and cleared the waiters).
 func (c *Coalescer) Complete(key Key, entry Entry) {
-	waiters := c.inflight[key]
-	delete(c.inflight, key)
-	for _, w := range waiters {
-		w(entry)
+	waiters, exists := c.inflight[key]
+	if !exists {
+		return
 	}
+	delete(c.inflight, key)
+	for i := range waiters {
+		waiters[i].h(waiters[i].ctx, entry)
+	}
+	for i := range waiters {
+		waiters[i] = waiter{} // release ctx refs before recycling
+	}
+	c.freeLists = append(c.freeLists, waiters[:0])
 }
 
 // Inflight returns the number of distinct keys currently outstanding.

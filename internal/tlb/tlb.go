@@ -35,6 +35,9 @@ func MakeKey(space vm.SpaceID, vpn vm.VPN) Key {
 func (k Key) VPN() vm.VPN { return vm.VPN(k >> 4) }
 
 type way struct {
+	// key caches entry.Key() so the per-way probe compare is one
+	// uint64 against a stored field instead of a recomputation.
+	key   Key
 	entry Entry
 	valid bool
 	stamp uint64
@@ -61,11 +64,13 @@ func (s Stats) HitRate() float64 {
 // TLB is a set-associative translation cache with true-LRU replacement.
 // sets == 1 gives a fully-associative structure.
 type TLB struct {
-	name  string
-	sets  []([]way)
-	ways  int
-	clock uint64
-	stats Stats
+	name string
+	// arr holds all sets contiguously: set s is arr[s*ways:(s+1)*ways].
+	arr     []way
+	ways    int
+	numSets uint64
+	clock   uint64
+	stats   Stats
 }
 
 // New creates a TLB with the given geometry. entries must be divisible
@@ -75,31 +80,28 @@ func New(name string, entries, ways int) *TLB {
 		panic(fmt.Sprintf("tlb: bad geometry entries=%d ways=%d", entries, ways))
 	}
 	numSets := entries / ways
-	t := &TLB{name: name, ways: ways, sets: make([][]way, numSets)}
-	for i := range t.sets {
-		t.sets[i] = make([]way, ways)
-	}
-	return t
+	return &TLB{name: name, ways: ways, numSets: uint64(numSets), arr: make([]way, entries)}
 }
 
 // Name returns the TLB's diagnostic name.
 func (t *TLB) Name() string { return t.name }
 
 // Entries returns total capacity.
-func (t *TLB) Entries() int { return len(t.sets) * t.ways }
+func (t *TLB) Entries() int { return len(t.arr) }
 
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
 
 func (t *TLB) set(k Key) []way {
-	return t.sets[uint64(k.VPN())%uint64(len(t.sets))]
+	s := uint64(k.VPN()) % t.numSets
+	return t.arr[s*uint64(t.ways) : (s+1)*uint64(t.ways)]
 }
 
 // Lookup searches for key; on a hit the entry becomes MRU.
 func (t *TLB) Lookup(key Key) (Entry, bool) {
 	set := t.set(key)
 	for i := range set {
-		if set[i].valid && set[i].entry.Key() == key {
+		if set[i].valid && set[i].key == key {
 			t.clock++
 			set[i].stamp = t.clock
 			t.stats.Hits++
@@ -115,7 +117,7 @@ func (t *TLB) Lookup(key Key) (Entry, bool) {
 func (t *TLB) Probe(key Key) (Entry, bool) {
 	set := t.set(key)
 	for i := range set {
-		if set[i].valid && set[i].entry.Key() == key {
+		if set[i].valid && set[i].key == key {
 			return set[i].entry, true
 		}
 	}
@@ -125,35 +127,39 @@ func (t *TLB) Probe(key Key) (Entry, bool) {
 // Insert fills e, replacing the LRU way of its set if full. It returns
 // the evicted victim entry, if any. Inserting a key that is already
 // present refreshes the existing way instead of duplicating it.
+//
+// The single pass records the first match, first free way, and LRU way
+// simultaneously, then applies them in the same priority order the
+// three-scan version used (refresh > free fill > eviction).
 func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 	key := e.Key()
 	set := t.set(key)
 	t.clock++
-	// Refresh on re-insert.
+	free, lru := -1, 0
 	for i := range set {
-		if set[i].valid && set[i].entry.Key() == key {
-			set[i].entry = e
-			set[i].stamp = t.clock
-			return Entry{}, false
+		if set[i].valid {
+			if set[i].key == key {
+				// Refresh on re-insert.
+				set[i].entry = e
+				set[i].stamp = t.clock
+				return Entry{}, false
+			}
+			if set[i].stamp < set[lru].stamp {
+				lru = i
+			}
+			continue
+		}
+		if free < 0 {
+			free = i
 		}
 	}
-	// Free way?
-	for i := range set {
-		if !set[i].valid {
-			set[i] = way{entry: e, valid: true, stamp: t.clock}
-			t.stats.Fills++
-			return Entry{}, false
-		}
-	}
-	// Evict LRU.
-	lru := 0
-	for i := 1; i < len(set); i++ {
-		if set[i].stamp < set[lru].stamp {
-			lru = i
-		}
+	if free >= 0 {
+		set[free] = way{key: key, entry: e, valid: true, stamp: t.clock}
+		t.stats.Fills++
+		return Entry{}, false
 	}
 	victim = set[lru].entry
-	set[lru] = way{entry: e, valid: true, stamp: t.clock}
+	set[lru] = way{key: key, entry: e, valid: true, stamp: t.clock}
 	t.stats.Fills++
 	t.stats.Evictions++
 	return victim, true
@@ -164,7 +170,7 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 func (t *TLB) Invalidate(key Key) bool {
 	set := t.set(key)
 	for i := range set {
-		if set[i].valid && set[i].entry.Key() == key {
+		if set[i].valid && set[i].key == key {
 			set[i].valid = false
 			t.stats.Shootdowns++
 			return true
@@ -175,21 +181,17 @@ func (t *TLB) Invalidate(key Key) bool {
 
 // Flush invalidates everything.
 func (t *TLB) Flush() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i].valid = false
-		}
+	for i := range t.arr {
+		t.arr[i].valid = false
 	}
 }
 
 // Occupied returns the number of valid entries.
 func (t *TLB) Occupied() int {
 	n := 0
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for i := range t.arr {
+		if t.arr[i].valid {
+			n++
 		}
 	}
 	return n
@@ -197,11 +199,9 @@ func (t *TLB) Occupied() int {
 
 // ForEach calls fn for every valid entry (iteration order unspecified).
 func (t *TLB) ForEach(fn func(Entry)) {
-	for _, set := range t.sets {
-		for i := range set {
-			if set[i].valid {
-				fn(set[i].entry)
-			}
+	for i := range t.arr {
+		if t.arr[i].valid {
+			fn(t.arr[i].entry)
 		}
 	}
 }

@@ -50,6 +50,22 @@ type L2TLB struct {
 	// structure — the paper's headline page-walk count (Fig 2, 14b).
 	PageWalksStarted uint64
 	DucatiHits       uint64
+
+	reqPool sim.Pool[l2Req]
+}
+
+// l2Req is the pooled context of one L2-TLB lookup, reused across the
+// probe → (perfect | DUCATI | walk) event chain.
+type l2Req struct {
+	l     *L2TLB
+	space *vm.AddrSpace
+	vpn   vm.VPN
+	key   tlb.Key
+}
+
+func (l *L2TLB) put(r *l2Req) {
+	r.space = nil
+	l.reqPool.Put(r)
 }
 
 // NewL2TLB builds the shared L2 stage.
@@ -82,64 +98,106 @@ func (l *L2TLB) PortGrants() uint64 {
 // Translate resolves vpn through the L2 TLB and, on a miss, DUCATI (if
 // configured) and the IOMMU. Concurrent requests for one page merge.
 func (l *L2TLB) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	l.TranslateEvent(space, vpn, callEntryClosure, done)
+}
+
+// callEntryClosure adapts the closure-style Translate APIs onto the
+// handler form: the func value rides in the ctx word.
+func callEntryClosure(ctx any, e tlb.Entry) { ctx.(func(tlb.Entry))(e) }
+
+// TranslateEvent is the allocation-free form of Translate: h(ctx, e)
+// runs with the resolved entry.
+func (l *L2TLB) TranslateEvent(space *vm.AddrSpace, vpn vm.VPN, h tlb.EntryHandler, ctx any) {
 	key := tlb.MakeKey(space.ID, vpn)
-	if !l.Coal.Join(key, done) {
+	if !l.Coal.JoinEvent(key, h, ctx) {
 		return
 	}
 	grant := l.Ports[uint64(vpn)%l2TLBBanks].Acquire()
-	l.Eng.At(grant+l.Latency, func() {
-		if e, ok := l.TLB.Lookup(key); ok {
-			l.Coal.Complete(key, e)
-			return
-		}
-		if l.Perfect {
-			// "Always hits" means the entry is resident: install it so
-			// the array state matches an arbitrarily large TLB (pair
-			// this flag with a large entry count for a true upper
-			// bound — core.NewSystem does). First-touch fabrications get
-			// deterministic per-page service variance standing in for
-			// the bank conflicts a giant TLB would have; without it the
-			// perfectly uniform latency phase-locks wavefronts into
-			// convoys no real structure sustains. The page table is read
-			// inside the delayed event so a migration during the jitter
-			// window cannot fabricate a stale PFN.
-			jitter := sim.Time((uint64(vpn)*0x9E3779B97F4A7C15)>>54) & 0x3FF
-			l.Eng.After(jitter, func() {
-				pfn, ok := space.PageTable().Lookup(vpn)
-				if !ok {
-					l.Eng.Failf(sim.ErrPageFault, "victim: perfect L2 TLB saw unmapped page %s vpn=%#x", space.ID, vpn)
-				}
-				e := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
-				l.TLB.Insert(e)
-				l.Coal.Complete(key, e)
-			})
-			return
-		}
-		if l.Ducati != nil {
-			l.Ducati.Lookup(key, func(e tlb.Entry, ok bool) {
-				if ok {
-					l.DucatiHits++
-					l.TLB.Insert(e)
-					l.Coal.Complete(key, e)
-					return
-				}
-				l.walk(space, vpn, key)
-			})
-			return
-		}
-		l.walk(space, vpn, key)
-	})
+	r := l.reqPool.Get()
+	r.l = l
+	r.space = space
+	r.vpn = vpn
+	r.key = key
+	l.Eng.AtEvent(grant+l.Latency, l2Probe, r)
 }
 
-func (l *L2TLB) walk(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key) {
-	l.PageWalksStarted++
-	l.IOMMU.Translate(space, vpn, func(e tlb.Entry) {
+// l2Probe runs when the banked array access completes.
+func l2Probe(x any) {
+	r := x.(*l2Req)
+	l := r.l
+	if e, ok := l.TLB.Lookup(r.key); ok {
+		l.Coal.Complete(r.key, e)
+		l.put(r)
+		return
+	}
+	if l.Perfect {
+		// "Always hits" means the entry is resident: install it so
+		// the array state matches an arbitrarily large TLB (pair
+		// this flag with a large entry count for a true upper
+		// bound — core.NewSystem does). First-touch fabrications get
+		// deterministic per-page service variance standing in for
+		// the bank conflicts a giant TLB would have; without it the
+		// perfectly uniform latency phase-locks wavefronts into
+		// convoys no real structure sustains. The page table is read
+		// inside the delayed event so a migration during the jitter
+		// window cannot fabricate a stale PFN.
+		jitter := sim.Time((uint64(r.vpn)*0x9E3779B97F4A7C15)>>54) & 0x3FF
+		l.Eng.AfterEvent(jitter, l2Perfect, r)
+		return
+	}
+	if l.Ducati != nil {
+		l.Ducati.LookupEvent(r.key, l2DucatiDone, r)
+		return
+	}
+	l.walk(r)
+}
+
+// l2Perfect fabricates the perfect-TLB hit after its jitter window.
+func l2Perfect(x any) {
+	r := x.(*l2Req)
+	l := r.l
+	pfn, ok := r.space.PageTable().Lookup(r.vpn)
+	if !ok {
+		l.Eng.Failf(sim.ErrPageFault, "victim: perfect L2 TLB saw unmapped page %s vpn=%#x", r.space.ID, r.vpn)
+	}
+	e := tlb.Entry{Space: r.space.ID, VPN: r.vpn, PFN: pfn}
+	l.TLB.Insert(e)
+	key := r.key
+	l.put(r)
+	l.Coal.Complete(key, e)
+}
+
+// l2DucatiDone resumes after the DUCATI in-memory probe.
+func l2DucatiDone(x any, e tlb.Entry, ok bool) {
+	r := x.(*l2Req)
+	l := r.l
+	if ok {
+		l.DucatiHits++
 		l.TLB.Insert(e)
-		if l.Ducati != nil {
-			l.Ducati.Fill(e)
-		}
+		key := r.key
+		l.put(r)
 		l.Coal.Complete(key, e)
-	})
+		return
+	}
+	l.walk(r)
+}
+
+func (l *L2TLB) walk(r *l2Req) {
+	l.PageWalksStarted++
+	l.IOMMU.TranslateEvent(r.space, r.vpn, l2WalkDone, r)
+}
+
+// l2WalkDone installs a completed page walk and releases the waiters.
+func l2WalkDone(x any, e tlb.Entry) {
+	r := x.(*l2Req)
+	l := r.l
+	l.TLB.Insert(e)
+	if l.Ducati != nil {
+		l.Ducati.Fill(e)
+	}
+	key := r.key
+	l.put(r)
+	l.Coal.Complete(key, e)
 }
 
 // Insert places a victim translation directly into the L2 TLB (the tail
@@ -188,7 +246,29 @@ type Path struct {
 	// hardware.
 	PrefetchNext bool
 
-	stats Stats
+	reqPool sim.Pool[pathReq]
+	stats   Stats
+}
+
+// pathReq is the pooled context of one victim-path lookup, reused
+// across the LDS → I-cache → L2 event chain.
+type pathReq struct {
+	p     *Path
+	space *vm.AddrSpace
+	vpn   vm.VPN
+	key   tlb.Key
+	h     tlb.EntryHandler
+	hctx  any
+	// hit records the probe outcome at issue time; the completion
+	// handler re-validates it against the array (mid-flight shootdowns).
+	hit bool
+}
+
+func (p *Path) put(r *pathReq) {
+	r.space = nil
+	r.h = nil
+	r.hctx = nil
+	p.reqPool.Put(r)
 }
 
 // Stats returns a copy of the counters.
@@ -199,9 +279,21 @@ func (p *Path) Stats() Stats { return p.stats }
 // the returned entry into its L1 TLB (and re-enters FillVictim with the
 // L1 victim).
 func (p *Path) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	p.TranslateEvent(space, vpn, callEntryClosure, done)
+}
+
+// TranslateEvent is the allocation-free form of Translate: h(ctx, e)
+// runs with the resolved entry.
+func (p *Path) TranslateEvent(space *vm.AddrSpace, vpn vm.VPN, h tlb.EntryHandler, ctx any) {
 	p.stats.Lookups++
-	key := tlb.MakeKey(space.ID, vpn)
-	p.lookupLDS(space, vpn, key, done)
+	r := p.reqPool.Get()
+	r.p = p
+	r.space = space
+	r.vpn = vpn
+	r.key = tlb.MakeKey(space.ID, vpn)
+	r.h = h
+	r.hctx = ctx
+	p.lookupLDS(r)
 	if p.PrefetchNext {
 		p.prefetch(space, vpn+1)
 	}
@@ -230,10 +322,12 @@ func (p *Path) prefetch(space *vm.AddrSpace, vpn vm.VPN) {
 		}
 	}
 	p.stats.PrefetchesIssued++
-	p.L2.Translate(space, vpn, func(e tlb.Entry) {
-		p.install(e)
-	})
+	p.L2.TranslateEvent(space, vpn, pathInstall, p)
 }
+
+// pathInstall stores a completed prefetch into the reconfigurable
+// structures (ctx is the owning *Path).
+func pathInstall(ctx any, e tlb.Entry) { ctx.(*Path).install(e) }
 
 // install places a prefetched entry into the structures using the same
 // LDS-then-I-cache order as the fill flow, dropping any displaced
@@ -252,51 +346,69 @@ func (p *Path) install(e tlb.Entry) {
 	}
 }
 
-func (p *Path) lookupLDS(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key, done func(tlb.Entry)) {
+func (p *Path) lookupLDS(r *pathReq) {
 	if p.LDS == nil {
-		p.lookupIC(space, vpn, key, done)
+		p.lookupIC(r)
 		return
 	}
-	_, hit, finish := p.LDS.TxLookup(key)
-	p.Eng.At(finish, func() {
-		// The SRAM read completes now, not at issue: re-probe so a
-		// shootdown or work-group reclaim that invalidated the entry
-		// mid-flight turns the hit into a miss instead of delivering a
-		// dead-on-arrival translation into the L1 TLB.
-		if hit {
-			if cur, still := p.LDS.TxProbe(key); still {
-				p.stats.LDSHits++
-				done(cur)
-				return
-			}
-			p.stats.MidflightInvalidated++
-		}
-		p.lookupIC(space, vpn, key, done)
-	})
+	_, hit, finish := p.LDS.TxLookup(r.key)
+	r.hit = hit
+	p.Eng.AtEvent(finish, pathLDSDone, r)
 }
 
-func (p *Path) lookupIC(space *vm.AddrSpace, vpn vm.VPN, key tlb.Key, done func(tlb.Entry)) {
+// pathLDSDone runs when the LDS SRAM read completes.
+func pathLDSDone(x any) {
+	r := x.(*pathReq)
+	p := r.p
+	// The SRAM read completes now, not at issue: re-probe so a
+	// shootdown or work-group reclaim that invalidated the entry
+	// mid-flight turns the hit into a miss instead of delivering a
+	// dead-on-arrival translation into the L1 TLB.
+	if r.hit {
+		if cur, still := p.LDS.TxProbe(r.key); still {
+			p.stats.LDSHits++
+			h, hctx := r.h, r.hctx
+			p.put(r)
+			h(hctx, cur)
+			return
+		}
+		p.stats.MidflightInvalidated++
+	}
+	p.lookupIC(r)
+}
+
+func (p *Path) lookupIC(r *pathReq) {
 	if p.IC == nil {
-		p.lookupL2(space, vpn, done)
+		p.lookupL2(r)
 		return
 	}
-	_, hit, finish := p.IC.TxLookup(key)
-	p.Eng.At(finish, func() {
-		if hit {
-			if cur, still := p.IC.TxProbe(key); still {
-				p.stats.ICHits++
-				done(cur)
-				return
-			}
-			p.stats.MidflightInvalidated++
-		}
-		p.lookupL2(space, vpn, done)
-	})
+	_, hit, finish := p.IC.TxLookup(r.key)
+	r.hit = hit
+	p.Eng.AtEvent(finish, pathICDone, r)
 }
 
-func (p *Path) lookupL2(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+// pathICDone runs when the I-cache SRAM read completes.
+func pathICDone(x any) {
+	r := x.(*pathReq)
+	p := r.p
+	if r.hit {
+		if cur, still := p.IC.TxProbe(r.key); still {
+			p.stats.ICHits++
+			h, hctx := r.h, r.hctx
+			p.put(r)
+			h(hctx, cur)
+			return
+		}
+		p.stats.MidflightInvalidated++
+	}
+	p.lookupL2(r)
+}
+
+func (p *Path) lookupL2(r *pathReq) {
 	p.stats.L2Reached++
-	p.L2.Translate(space, vpn, done)
+	space, vpn, h, hctx := r.space, r.vpn, r.h, r.hctx
+	p.put(r)
+	p.L2.TranslateEvent(space, vpn, h, hctx)
 }
 
 // FillVictim runs the Figure 12 fill flow for an entry evicted from the

@@ -98,25 +98,34 @@ func (p *pwc) fill(key uint64) {
 	p.stamps[key] = p.clock
 }
 
-type pendingWalk struct {
+// walkReq is the pooled context of one translation request, reused
+// across the probe → queue → walk-step → finish event chain so the
+// walker schedules every step allocation-free.
+type walkReq struct {
+	io    *IOMMU
 	space *vm.AddrSpace
 	vpn   vm.VPN
+	key   tlb.Key
+	walk  vm.Walk
+	idx   int
 }
 
 // IOMMU is the translation agent of last resort before memory.
 type IOMMU struct {
-	eng  *sim.Engine
-	cfg  Config
-	mem  cache.Memory
-	l1   *tlb.TLB
-	l2   *tlb.TLB
-	pgd  *pwc
-	pud  *pwc
-	pmd  *pwc
-	coal *tlb.Coalescer
+	eng   *sim.Engine
+	cfg   Config
+	mem   cache.Memory
+	memEv cache.EventMemory // mem, when it supports the event form
+	l1    *tlb.TLB
+	l2    *tlb.TLB
+	pgd   *pwc
+	pud   *pwc
+	pmd   *pwc
+	coal  *tlb.Coalescer
 
 	freeWalkers int
-	queue       []pendingWalk
+	queue       []*walkReq
+	reqPool     sim.Pool[walkReq]
 	stats       Stats
 	// stallUntil defers walks started before this cycle — the chaos
 	// harness models a stalled walker pipeline by pushing it forward.
@@ -129,10 +138,12 @@ func New(eng *sim.Engine, cfg Config, mem cache.Memory) *IOMMU {
 	if cfg.NumWalkers <= 0 {
 		panic("walker: need at least one walker")
 	}
+	memEv, _ := mem.(cache.EventMemory)
 	return &IOMMU{
 		eng:         eng,
 		cfg:         cfg,
 		mem:         mem,
+		memEv:       memEv,
 		l1:          tlb.New("iommu-l1", cfg.L1Entries, cfg.L1Entries),
 		l2:          tlb.New("iommu-l2", cfg.L2Entries, min(cfg.L2Entries, 8)),
 		pgd:         newPWC(cfg.PGDEntries),
@@ -180,38 +191,68 @@ func (io *IOMMU) WalkersStalled() bool { return io.stallUntil > io.eng.Now() }
 // page-table levels via memory. Concurrent requests for the same page
 // are merged.
 func (io *IOMMU) Translate(space *vm.AddrSpace, vpn vm.VPN, done func(tlb.Entry)) {
+	io.TranslateEvent(space, vpn, callEntryClosure, done)
+}
+
+// callEntryClosure adapts the closure-style Translate API onto the
+// handler form: the func value rides in the ctx word.
+func callEntryClosure(ctx any, e tlb.Entry) { ctx.(func(tlb.Entry))(e) }
+
+// TranslateEvent is the allocation-free form of Translate: h(ctx, e)
+// runs with the completed entry.
+func (io *IOMMU) TranslateEvent(space *vm.AddrSpace, vpn vm.VPN, h tlb.EntryHandler, ctx any) {
 	io.stats.Requests++
 	key := tlb.MakeKey(space.ID, vpn)
 
-	first := io.coal.Join(key, done)
+	first := io.coal.JoinEvent(key, h, ctx)
 	if !first {
 		io.stats.MergedWalks++
 		return
 	}
 
-	io.eng.After(io.cfg.TLBLatency, func() {
-		if e, ok := io.l1.Lookup(key); ok {
-			io.stats.DevTLBHits++
-			io.coal.Complete(key, e)
-			return
-		}
-		if e, ok := io.l2.Lookup(key); ok {
-			io.stats.DevTLBHits++
-			io.l1.Insert(e)
-			io.coal.Complete(key, e)
-			return
-		}
-		io.enqueueWalk(space, vpn)
-	})
+	r := io.reqPool.Get()
+	r.io = io
+	r.space = space
+	r.vpn = vpn
+	r.key = key
+	io.eng.AfterEvent(io.cfg.TLBLatency, walkerProbe, r)
 }
 
-func (io *IOMMU) enqueueWalk(space *vm.AddrSpace, vpn vm.VPN) {
-	if io.freeWalkers > 0 {
-		io.freeWalkers--
-		io.startWalk(space, vpn)
+// put recycles a finished request, dropping the references it holds.
+func (io *IOMMU) put(r *walkReq) {
+	r.space = nil
+	r.walk = vm.Walk{}
+	io.reqPool.Put(r)
+}
+
+// walkerProbe runs after the device-TLB probe latency: TLB hits
+// complete immediately, misses enter the walker queue.
+func walkerProbe(x any) {
+	r := x.(*walkReq)
+	io := r.io
+	if e, ok := io.l1.Lookup(r.key); ok {
+		io.stats.DevTLBHits++
+		io.coal.Complete(r.key, e)
+		io.put(r)
 		return
 	}
-	io.queue = append(io.queue, pendingWalk{space: space, vpn: vpn})
+	if e, ok := io.l2.Lookup(r.key); ok {
+		io.stats.DevTLBHits++
+		io.l1.Insert(e)
+		io.coal.Complete(r.key, e)
+		io.put(r)
+		return
+	}
+	io.enqueueWalk(r)
+}
+
+func (io *IOMMU) enqueueWalk(r *walkReq) {
+	if io.freeWalkers > 0 {
+		io.freeWalkers--
+		io.startWalk(r)
+		return
+	}
+	io.queue = append(io.queue, r)
 	if len(io.queue) > io.stats.MaxQueue {
 		io.stats.MaxQueue = len(io.queue)
 	}
@@ -223,26 +264,34 @@ func (io *IOMMU) releaseWalker() {
 		return
 	}
 	next := io.queue[0]
+	io.queue[0] = nil
 	io.queue = io.queue[1:]
-	io.startWalk(next.space, next.vpn)
+	io.startWalk(next)
+}
+
+// walkerStart re-enters startWalk when a stall window closes.
+func walkerStart(x any) {
+	r := x.(*walkReq)
+	r.io.startWalk(r)
 }
 
 // startWalk performs the actual multi-level walk. The deepest page-walk
 // cache hit determines how many upper levels are skipped: a PMD hit
 // leaves only the PTE access, a PUD hit two accesses, and so on.
-func (io *IOMMU) startWalk(space *vm.AddrSpace, vpn vm.VPN) {
+func (io *IOMMU) startWalk(r *walkReq) {
 	if io.stallUntil > io.eng.Now() {
 		io.stats.StalledWalks++
-		io.eng.At(io.stallUntil, func() { io.startWalk(space, vpn) })
+		io.eng.AtEvent(io.stallUntil, walkerStart, r)
 		return
 	}
+	vpn := r.vpn
 	io.stats.Walks++
-	pt := space.PageTable()
-	walk := pt.Walk(vpn)
-	if !walk.OK {
-		io.eng.Failf(sim.ErrPageFault, "walker: page fault for %s vpn=%#x — workloads must touch only allocated buffers", space.ID, vpn)
+	pt := r.space.PageTable()
+	r.walk = pt.Walk(vpn)
+	if !r.walk.OK {
+		io.eng.Failf(sim.ErrPageFault, "walker: page fault for %s vpn=%#x — workloads must touch only allocated buffers", r.space.ID, vpn)
 	}
-	levels := len(walk.Steps)
+	levels := len(r.walk.Steps)
 
 	// Deepest-first PWC probe. Prefix level L covers the first L radix
 	// indices; a hit there means the node for level L+1 is known.
@@ -260,23 +309,35 @@ func (io *IOMMU) startWalk(space *vm.AddrSpace, vpn vm.VPN) {
 	// 2MB pages walk 3 levels; a "PMD" probe is meaningless there, and
 	// prefix keys encode the level so the caches never alias.
 
-	io.walkStep(space, vpn, walk, startIdx)
+	r.idx = startIdx
+	io.walkStep(r)
 }
 
-func (io *IOMMU) walkStep(space *vm.AddrSpace, vpn vm.VPN, walk vm.Walk, idx int) {
-	if idx >= len(walk.Steps) {
-		io.finishWalk(space, vpn, walk)
+// walkerStepDone advances the walk after one level's memory reference.
+func walkerStepDone(x any) {
+	r := x.(*walkReq)
+	r.idx++
+	r.io.walkStep(r)
+}
+
+func (io *IOMMU) walkStep(r *walkReq) {
+	if r.idx >= len(r.walk.Steps) {
+		io.finishWalk(r)
 		return
 	}
 	io.stats.WalkSteps++
-	io.mem.Access(walk.Steps[idx], false, func() {
-		io.walkStep(space, vpn, walk, idx+1)
-	})
+	step := r.walk.Steps[r.idx]
+	if io.memEv != nil {
+		io.memEv.AccessEvent(step, false, walkerStepDone, r)
+		return
+	}
+	io.mem.Access(step, false, func() { walkerStepDone(r) })
 }
 
-func (io *IOMMU) finishWalk(space *vm.AddrSpace, vpn vm.VPN, walk vm.Walk) {
-	pt := space.PageTable()
-	levels := len(walk.Steps)
+func (io *IOMMU) finishWalk(r *walkReq) {
+	vpn := r.vpn
+	pt := r.space.PageTable()
+	levels := len(r.walk.Steps)
 	io.pgd.fill(pt.PrefixKey(vpn, 1))
 	if levels >= 3 {
 		io.pud.fill(pt.PrefixKey(vpn, 2))
@@ -292,12 +353,14 @@ func (io *IOMMU) finishWalk(space *vm.AddrSpace, vpn vm.VPN, walk vm.Walk) {
 	// ("dead on arrival" entries).
 	pfn, ok := pt.Lookup(vpn)
 	if !ok {
-		io.eng.Failf(sim.ErrPageFault, "walker: %s vpn=%#x unmapped at walk completion (racing unmap?)", space.ID, vpn)
+		io.eng.Failf(sim.ErrPageFault, "walker: %s vpn=%#x unmapped at walk completion (racing unmap?)", r.space.ID, vpn)
 	}
-	entry := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
+	entry := tlb.Entry{Space: r.space.ID, VPN: vpn, PFN: pfn}
 	io.l2.Insert(entry)
 	io.l1.Insert(entry)
-	io.coal.Complete(tlb.MakeKey(space.ID, vpn), entry)
+	key := r.key
+	io.put(r)
+	io.coal.Complete(key, entry)
 	io.releaseWalker()
 }
 
