@@ -10,12 +10,15 @@
 #   make bench-paper  regenerate the paper's figures/tables (slow; see bench_test.go)
 #   make sweep-smoke  fast end-to-end campaigns on the parallel sweep engine,
 #                     with a byte-identity check across independent campaign dirs
+#   make chaos-smoke  fast adversarial campaign: a two-tenant co-run under a
+#                     two-rate chaos ladder × two seed trials, asserting the
+#                     robustness scorecard is byte-identical at procs=1 vs 4
 
 GO ?= go
 
 .DEFAULT_GOAL := tier1
 
-.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke
+.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke chaos-smoke
 
 tier1:
 	$(GO) build ./...
@@ -56,3 +59,16 @@ sweep-smoke:
 	cmp .sweep-smoke/a/aggregate.json .sweep-smoke/b/aggregate.json
 	cmp .sweep-smoke/a/aggregate.csv .sweep-smoke/b/aggregate.csv
 	@echo "sweep-smoke: aggregates byte-identical across independent campaigns (procs 2 vs 1)"
+
+chaos-smoke:
+	rm -rf .chaos-smoke
+	$(GO) run ./cmd/gpureach sweep -tenancy MVT+SRAD -schemes ic+lds \
+		-chaos-rates 0.002,0.01 -chaos-seeds 1,2 -scale 0.05 \
+		-procs 1 -out .chaos-smoke/p1 -bench '' -quiet -no-tables
+	$(GO) run ./cmd/gpureach sweep -tenancy MVT+SRAD -schemes ic+lds \
+		-chaos-rates 0.002,0.01 -chaos-seeds 1,2 -scale 0.05 \
+		-procs 4 -out .chaos-smoke/p4 -bench '' -quiet -no-tables
+	cmp .chaos-smoke/p1/robustness.json .chaos-smoke/p4/robustness.json
+	cmp .chaos-smoke/p1/robustness.csv .chaos-smoke/p4/robustness.csv
+	cmp .chaos-smoke/p1/aggregate.json .chaos-smoke/p4/aggregate.json
+	@echo "chaos-smoke: robustness scorecard byte-identical across independent campaigns (procs 1 vs 4)"

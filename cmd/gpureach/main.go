@@ -28,6 +28,7 @@ import (
 	"gpureach/internal/check"
 	"gpureach/internal/cli"
 	"gpureach/internal/core"
+	"gpureach/internal/sweep"
 	"gpureach/internal/workloads"
 )
 
@@ -43,6 +44,7 @@ func main() {
 	}
 
 	app := flag.String("app", "ATAX", "workload name (see -list)")
+	tenants := flag.String("tenants", "", "'+'-joined co-run mix (e.g. MVT+SRAD): run the §7.2 multi-tenant scenario instead of -app")
 	scheme := flag.String("scheme", "baseline", "translation scheme: "+strings.Join(core.SchemeNames(), ", "))
 	scale := flag.Float64("scale", 1.0, "footprint/instruction scale factor")
 	l2tlb := flag.Int("l2tlb", 512, "L2 TLB entries")
@@ -59,6 +61,11 @@ func main() {
 
 	if *list {
 		printList()
+		return
+	}
+
+	if *tenants != "" {
+		runCoTenants(*tenants, *scheme, *l2tlb, *pageSize, *scale, *chaosSpec)
 		return
 	}
 
@@ -110,7 +117,8 @@ func main() {
 	fmt.Printf("page walks     %d (PTW-PKI %.2f, L2-TLB misses %d)\n", r.PageWalks, r.PTWPKI, r.L2TLBMisses)
 	fmt.Printf("L1 TLB hit     %.1f%%\n", 100*r.L1TLBHitRate)
 	fmt.Printf("L2 TLB hit     %.1f%%\n", 100*r.L2TLBHitRate)
-	fmt.Printf("victim hits    LDS=%d IC=%d (of %d post-L1 lookups)\n", r.LDSTxHits, r.ICTxHits, r.VictimLookups)
+	fmt.Printf("victim hits    LDS=%d IC=%d (of %d post-L1 lookups, %d invalidated mid-flight)\n",
+		r.LDSTxHits, r.ICTxHits, r.VictimLookups, r.MidflightInvalidated)
 	if r.DucatiHits > 0 {
 		fmt.Printf("DUCATI hits    %d\n", r.DucatiHits)
 	}
@@ -118,10 +126,75 @@ func main() {
 	fmt.Printf("peak Tx gained %d entries\n", r.PeakTxResident)
 	fmt.Printf("Tx shared      %.1f%% across CUs\n", 100*r.SharedTxFraction)
 	if injector != nil {
-		st := injector.Stats()
-		fmt.Printf("chaos          %d injections (shootdown=%d migrate=%d reclaim=%d stall=%d), digest %#016x\n",
-			st.Injections, st.Shootdowns, st.Migrations, st.Reclaims, st.Stalls, injector.Digest())
-		fmt.Printf("invariants     %d probe runs, %d violations\n", sys.Checker.Runs(), len(sys.Checker.Violations))
+		printChaos(injector, sys.Checker)
+	}
+}
+
+func printChaos(injector *chaos.Injector, checker *check.Checker) {
+	st := injector.Stats()
+	fmt.Printf("chaos          %d injections (shootdown=%d migrate=%d reclaim=%d stall=%d vmshoot=%d migstorm=%d), digest %#016x\n",
+		st.Injections, st.Shootdowns, st.Migrations, st.Reclaims, st.Stalls,
+		st.VMShootdowns, st.MigStorms, injector.Digest())
+	fmt.Printf("invariants     %d probe runs, %d violations\n", checker.Runs(), len(checker.Violations))
+}
+
+// runCoTenants is the -tenants path: the §7.2 multi-application
+// scenario as a single CLI invocation, with optional chaos injection
+// covering every tenant's address space. Preset-shape mistakes (bad
+// names, too many tenants, an uneven CU partition) come back as
+// ordinary errors and a usage exit, not panics.
+func runCoTenants(mix, scheme string, l2tlb int, pageSize string, scale float64, chaosSpec string) {
+	apps, err := sweep.SplitTenants(mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	s, ok := core.SchemeByName(scheme)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (options: %s)\n", scheme, strings.Join(core.SchemeNames(), ", "))
+		os.Exit(2)
+	}
+	ps, ok := core.PageSizeByName(pageSize)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown page size %q (options: %s)\n", pageSize, strings.Join(core.PageSizeNames(), ", "))
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig(s)
+	cfg.L2TLBEntries = l2tlb
+	cfg.PageSize = ps
+
+	m, err := core.PrepareMultiApp(cfg, apps, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var injector *chaos.Injector
+	if chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		m.Sys.Checker = check.NewChecker()
+		injector = chaos.New(m.Sys, ccfg)
+		injector.Arm()
+	}
+	per, r, err := m.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tenants        %s (%d CUs each, separate VM-IDs)\n", mix, cfg.GPU.NumCUs/len(apps))
+	fmt.Printf("scheme         %s\n", r.Scheme)
+	for _, p := range per {
+		fmt.Printf("  %-8s finished at %d cycles, %d kernels\n", p.App, p.FinishedAt, p.KernelsRun)
+	}
+	fmt.Printf("cycles         %d (system end-to-end)\n", r.Cycles)
+	fmt.Printf("page walks     %d (PTW-PKI %.2f, L2-TLB misses %d)\n", r.PageWalks, r.PTWPKI, r.L2TLBMisses)
+	fmt.Printf("victim hits    LDS=%d IC=%d (of %d post-L1 lookups, %d invalidated mid-flight)\n",
+		r.LDSTxHits, r.ICTxHits, r.VictimLookups, r.MidflightInvalidated)
+	if injector != nil {
+		printChaos(injector, m.Sys.Checker)
 	}
 }
 

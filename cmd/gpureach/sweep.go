@@ -22,8 +22,10 @@ func runSweep(args []string) {
 	scale := fs.Float64("scale", 1.0, "footprint/instruction scale factor")
 	l2tlb := fs.String("l2tlb", "", "comma-separated L2 TLB entry counts (default: 512)")
 	pageSizes := fs.String("pagesizes", "", "comma-separated page sizes: 4K, 64K, 2M (default: 4K)")
-	seeds := fs.String("chaos-seeds", "", "comma-separated chaos seeds (0 = fault-free; default: 0)")
-	chaosRate := fs.Float64("chaos-rate", 0.001, "chaos injections per cycle for non-zero seeds")
+	tenancy := fs.String("tenancy", "", "comma-separated co-run mixes, each '+'-joined (e.g. MVT+SRAD,GEV+SSSP)")
+	chaosRates := fs.String("chaos-rates", "", "comma-separated chaos injection rates per cycle; the fault-free rate 0 is always included")
+	seeds := fs.String("chaos-seeds", "", "comma-separated non-zero chaos trial seeds (default: 1..trials)")
+	trials := fs.Int("trials", 0, "trials per non-zero chaos rate when -chaos-seeds is empty (default: 1)")
 	procs := fs.Int("procs", 0, "worker pool size (default: GOMAXPROCS)")
 	out := fs.String("out", "sweep-out", "campaign directory (cache/, journal.jsonl, aggregate.json/csv)")
 	resume := fs.Bool("resume", false, "resume a killed campaign from its journal")
@@ -40,16 +42,24 @@ func runSweep(args []string) {
 	// successful campaigns — exactly the runs worth profiling.
 	defer prof.Stop(os.Stderr)
 
-	spec := sweep.Spec{Scale: *scale, ChaosRate: *chaosRate}
+	spec := sweep.Spec{Scale: *scale, Trials: *trials}
 	spec.Apps = splitList(*apps)
 	spec.Schemes = splitList(*schemes)
 	spec.PageSizes = splitList(*pageSizes)
+	spec.Tenancy = splitList(*tenancy)
 	for _, s := range splitList(*l2tlb) {
 		v, err := strconv.Atoi(s)
 		if err != nil {
 			fatalf("bad -l2tlb entry %q: %v", s, err)
 		}
 		spec.L2TLB = append(spec.L2TLB, v)
+	}
+	for _, s := range splitList(*chaosRates) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fatalf("bad -chaos-rates entry %q: %v", s, err)
+		}
+		spec.ChaosRates = append(spec.ChaosRates, v)
 	}
 	for _, s := range splitList(*seeds) {
 		v, err := strconv.ParseUint(s, 10, 64)
@@ -114,6 +124,31 @@ func runSweep(args []string) {
 	if err := os.WriteFile(filepath.Join(*out, "aggregate.csv"), csvData, 0o644); err != nil {
 		fatalf("%v", err)
 	}
+
+	// The robustness scorecard rides along whenever the campaign has
+	// adversarial cells (a non-zero chaos rate).
+	robust := campaign.Robustness()
+	if len(robust.Rows) > 0 {
+		if !*noTables {
+			for _, t := range robust.Tables() {
+				t.Render(os.Stdout)
+			}
+		}
+		rj, err := robust.JSON()
+		if err != nil {
+			fatalf("robustness: %v", err)
+		}
+		rc, err := robust.CSV()
+		if err != nil {
+			fatalf("robustness: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "robustness.json"), rj, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "robustness.csv"), rc, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if *bench != "" {
 		entry := sweep.BenchEntryFor(campaign, agg, opts.Procs, "gpureach sweep")
 		if err := sweep.AppendBench(*bench, entry); err != nil {
@@ -124,8 +159,23 @@ func runSweep(args []string) {
 	st := campaign.Stats
 	fmt.Printf("sweep: %d runs (%d executed, %d cache hits, %d journal hits, %d retries, %d failed) in %.1fs\n",
 		st.Total, st.Executed, st.CacheHits, st.JournalHits, st.Retries, st.Failed, st.WallMS/1000)
-	fmt.Printf("sweep: artifacts in %s (aggregate.json, aggregate.csv, journal.jsonl, cache/)\n", *out)
-	if st.Failed > 0 {
+	artifacts := "aggregate.json, aggregate.csv, journal.jsonl, cache/"
+	if len(robust.Rows) > 0 {
+		artifacts = "aggregate.json/csv, robustness.json/csv, journal.jsonl, cache/"
+	}
+	fmt.Printf("sweep: artifacts in %s (%s)\n", *out, artifacts)
+	// Failure policy: a chaos cell that dies under injected faults is a
+	// *measurement* — it degrades the scorecard's completion rate, and
+	// the campaign still succeeds. A fault-free run failing means the
+	// simulator itself is broken, and that stays fatal.
+	faultFreeFailed := 0
+	for _, rec := range campaign.Records {
+		if rec.Failed() && rec.Run.ChaosRate == 0 {
+			faultFreeFailed++
+		}
+	}
+	if faultFreeFailed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d fault-free run(s) failed\n", faultFreeFailed)
 		prof.Stop(os.Stderr)
 		os.Exit(1)
 	}

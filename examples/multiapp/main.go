@@ -20,8 +20,8 @@ func main() {
 	pair := []workloads.Workload{mvt, srad}
 	const scale = 0.5
 
-	basePer, baseAll := core.RunMultiApp(core.DefaultConfig(core.Baseline()), pair, scale)
-	combPer, combAll := core.RunMultiApp(core.DefaultConfig(core.Combined()), pair, scale)
+	basePer, baseAll := core.MustRunMultiApp(core.DefaultConfig(core.Baseline()), pair, scale)
+	combPer, combAll := core.MustRunMultiApp(core.DefaultConfig(core.Combined()), pair, scale)
 
 	fmt.Println("MVT (High PTW) + SRAD (Low PTW), 4 CUs each, separate VM-IDs")
 	fmt.Println()

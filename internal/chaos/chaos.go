@@ -19,6 +19,7 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -40,12 +41,18 @@ type Config struct {
 	// MaxInjections stops injecting after this many faults (0 = no cap).
 	MaxInjections uint64
 
-	// Relative weights of the four fault kinds; all-zero selects the
-	// default 4/2/2/1 mix.
+	// Relative weights of the six fault kinds; all-zero selects the
+	// default 4/2/2/1/2/1 mix. VMShoot and MigStorm are the §7.2
+	// multi-tenant faults: a shootdown storm against one VM-ID's pages,
+	// and a migration sweep touching every live address space. On a
+	// single-app system they degrade to multi-page variants of the
+	// primary-space faults, so the weights need no tenancy awareness.
 	ShootdownWeight int
 	MigrationWeight int
 	ReclaimWeight   int
 	StallWeight     int
+	VMShootWeight   int
+	MigStormWeight  int
 
 	// StallCycles is how long one walker stall lasts (default 500).
 	StallCycles sim.Time
@@ -55,11 +62,19 @@ type Config struct {
 	// ReclaimHold is how long an injected reservation is held before
 	// release (default 5000 cycles).
 	ReclaimHold sim.Time
+	// StormPages bounds how many pages a single VM-ID-targeted
+	// shootdown storm invalidates (default 4).
+	StormPages int
 }
 
 func (c Config) withDefaults() Config {
-	if c.ShootdownWeight == 0 && c.MigrationWeight == 0 && c.ReclaimWeight == 0 && c.StallWeight == 0 {
+	if c.ShootdownWeight == 0 && c.MigrationWeight == 0 && c.ReclaimWeight == 0 &&
+		c.StallWeight == 0 && c.VMShootWeight == 0 && c.MigStormWeight == 0 {
 		c.ShootdownWeight, c.MigrationWeight, c.ReclaimWeight, c.StallWeight = 4, 2, 2, 1
+		c.VMShootWeight, c.MigStormWeight = 2, 1
+	}
+	if c.StormPages == 0 {
+		c.StormPages = 4
 	}
 	if c.StallCycles == 0 {
 		c.StallCycles = 500
@@ -73,6 +88,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ValidateRate rejects injection rates that no schedule can honour:
+// NaN, negative, or above one injection per cycle. Zero is a valid
+// fault-free rate — the sweep engine's chaos-rate ladder anchors on it
+// — so callers that additionally require activity (ParseSpec) must
+// check for rate > 0 themselves. Shared with sweep.Spec.Validate so a
+// campaign spec and a -chaos flag reject the same garbage.
+func ValidateRate(r float64) error {
+	if math.IsNaN(r) {
+		return fmt.Errorf("rate is NaN")
+	}
+	if r < 0 {
+		return fmt.Errorf("negative rate %g", r)
+	}
+	if r > 1 {
+		return fmt.Errorf("rate %g exceeds one injection per cycle", r)
+	}
+	return nil
+}
+
+// parseKeys are the -chaos flag's valid keys, in the order help text
+// and errors list them.
+const parseKeys = "seed, rate, max"
+
 // ParseSpec parses the cmd/gpureach -chaos flag syntax:
 // "seed=1,rate=0.01[,max=N]".
 func ParseSpec(spec string) (Config, error) {
@@ -81,7 +119,7 @@ func ParseSpec(spec string) (Config, error) {
 	for _, part := range strings.Split(spec, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
-			return c, fmt.Errorf("chaos: %q is not key=value", part)
+			return c, fmt.Errorf("chaos: %q is not key=value (valid keys: %s)", part, parseKeys)
 		}
 		var err error
 		switch k {
@@ -92,14 +130,17 @@ func ParseSpec(spec string) (Config, error) {
 		case "max":
 			c.MaxInjections, err = strconv.ParseUint(v, 0, 64)
 		default:
-			return c, fmt.Errorf("chaos: unknown key %q (want seed, rate or max)", k)
+			return c, fmt.Errorf("chaos: unknown key %q (valid keys: %s)", k, parseKeys)
 		}
 		if err != nil {
 			return c, fmt.Errorf("chaos: bad %s: %v", k, err)
 		}
 	}
-	if c.Rate <= 0 {
+	if c.Rate == -1 || c.Rate == 0 {
 		return c, fmt.Errorf("chaos: spec %q needs rate=R with R > 0", spec)
+	}
+	if err := ValidateRate(c.Rate); err != nil {
+		return c, fmt.Errorf("chaos: spec %q: %v", spec, err)
 	}
 	return c, nil
 }
@@ -122,12 +163,19 @@ func (e Event) String() string {
 
 // Stats summarizes one injection campaign.
 type Stats struct {
-	Ticks      uint64
-	Injections uint64
-	Shootdowns uint64
-	Migrations uint64
-	Reclaims   uint64
-	Stalls     uint64
+	Ticks        uint64
+	Injections   uint64
+	Shootdowns   uint64
+	Migrations   uint64
+	Reclaims     uint64
+	Stalls       uint64
+	VMShootdowns uint64
+	MigStorms    uint64
+	// StormPagesShot counts individual pages invalidated by VM-ID
+	// shootdown storms; StormPagesMoved counts pages remapped by
+	// cross-space migration storms.
+	StormPagesShot  uint64
+	StormPagesMoved uint64
 	// Skipped ticks: no translation resident anywhere to target, the
 	// physical-frame budget would not cover another migration, the
 	// target CU already held an injected reservation, or the walkers
@@ -229,7 +277,8 @@ func (in *Injector) tick() {
 
 func (in *Injector) inject() {
 	c := in.cfg
-	total := c.ShootdownWeight + c.MigrationWeight + c.ReclaimWeight + c.StallWeight
+	total := c.ShootdownWeight + c.MigrationWeight + c.ReclaimWeight + c.StallWeight +
+		c.VMShootWeight + c.MigStormWeight
 	r := in.rng.Intn(total)
 	switch {
 	case r < c.ShootdownWeight:
@@ -238,8 +287,12 @@ func (in *Injector) inject() {
 		in.migrate()
 	case r < c.ShootdownWeight+c.MigrationWeight+c.ReclaimWeight:
 		in.reclaim()
-	default:
+	case r < c.ShootdownWeight+c.MigrationWeight+c.ReclaimWeight+c.StallWeight:
 		in.stall()
+	case r < c.ShootdownWeight+c.MigrationWeight+c.ReclaimWeight+c.StallWeight+c.VMShootWeight:
+		in.vmShootdown()
+	default:
+		in.migrationStorm()
 	}
 }
 
@@ -258,17 +311,40 @@ func (in *Injector) pickHotPage() (*vm.AddrSpace, vm.VPN, bool) {
 			return sp, e.VPN, true
 		}
 	}
-	sp := in.sys.Space
+	// No L1 residency anywhere: fall back to a random mapped page of a
+	// random live address space, so multi-tenant systems see pressure
+	// on every VM-ID, not just the primary.
+	sp := in.sys.Spaces[in.rng.Intn(len(in.sys.Spaces))]
+	vpn, ok := in.pickPageOf(sp)
+	return sp, vpn, ok
+}
+
+// pickPageOf selects one page of the given space: an L1-resident
+// translation of that space when one exists (the hot page a VM-ID-
+// targeted invalidation would chase), otherwise a random page of one of
+// the space's buffers.
+func (in *Injector) pickPageOf(sp *vm.AddrSpace) (vm.VPN, bool) {
+	var cands []vm.VPN
+	for _, x := range in.sys.Xlats {
+		x.L1().ForEach(func(e tlb.Entry) {
+			if e.Space == sp.ID {
+				cands = append(cands, e.VPN)
+			}
+		})
+	}
+	if len(cands) > 0 {
+		return cands[in.rng.Intn(len(cands))], true
+	}
 	bufs := sp.Buffers()
 	if len(bufs) == 0 {
-		return nil, 0, false
+		return 0, false
 	}
 	b := bufs[in.rng.Intn(len(bufs))]
 	pages := int(b.Size / uint64(sp.PageSize()))
 	if pages < 1 {
 		pages = 1
 	}
-	return sp, sp.VPN(b.Base) + vm.VPN(in.rng.Intn(pages)), true
+	return sp.VPN(b.Base) + vm.VPN(in.rng.Intn(pages)), true
 }
 
 func (in *Injector) spaceByID(id vm.SpaceID) *vm.AddrSpace {
@@ -309,25 +385,92 @@ func (in *Injector) migrate() {
 		in.stats.SkippedNoTarget++
 		return
 	}
+	if !in.migratePage(sp, vpn) {
+		return
+	}
+	in.stats.Migrations++
+	in.record("migrate", sp.ID, vpn, -1)
+	in.stats.Violations += in.sys.Check(check.AfterFault, "chaos:migrate", tlb.MakeKey(sp.ID, vpn))
+}
+
+// migratePage remaps one mapped page of sp to a fresh frame and shoots
+// the stale translation down everywhere, accounting the skip reasons.
+// It reports whether the migration actually happened.
+func (in *Injector) migratePage(sp *vm.AddrSpace, vpn vm.VPN) bool {
 	pt := sp.PageTable()
 	if _, mapped := pt.Lookup(vpn); !mapped {
 		in.stats.SkippedNoTarget++
-		return
+		return false
 	}
 	// Migrations consume fresh frames from the data half of physical
 	// memory; leave headroom so kernel-code allocations never starve.
+	// Under oversubscribed multi-tenant footprints this limit bites
+	// early — the skip counter is the oversubscription signal.
 	const headroom = 64 << 20
 	pageBytes := uint64(sp.PageSize())
 	if in.sys.Frames.DataBytesAllocated()+pageBytes+headroom > in.sys.Cfg.PhysBytes/2 {
 		in.stats.SkippedFrameLimit++
-		return
+		return false
 	}
 	newPFN := vm.PFN(uint64(in.sys.Frames.AllocData(sp.PageSize())) >> sp.PageSize().Bits())
 	pt.Map(vpn, newPFN)
 	in.sys.ShootdownAll(sp.ID, vpn)
-	in.stats.Migrations++
-	in.record("migrate", sp.ID, vpn, -1)
-	in.stats.Violations += in.sys.Check(check.AfterFault, "chaos:migrate", tlb.MakeKey(sp.ID, vpn))
+	return true
+}
+
+// vmShootdown is the §7.2 multi-tenant invalidation storm: it picks one
+// VM-ID and delivers shootdowns for up to StormPages of that space's
+// pages in a single engine event — the burst a driver tearing down or
+// trimming one tenant's mappings would issue. Every page is verified by
+// the after-fault probes, so a shootdown that leaks into (or skips)
+// another tenant's structures surfaces at the injection.
+func (in *Injector) vmShootdown() {
+	sp := in.sys.Spaces[in.rng.Intn(len(in.sys.Spaces))]
+	seen := make(map[vm.VPN]bool)
+	var keys []tlb.Key
+	for len(keys) < in.cfg.StormPages {
+		vpn, ok := in.pickPageOf(sp)
+		if !ok || seen[vpn] {
+			break // space empty, or the hot set is smaller than the storm
+		}
+		seen[vpn] = true
+		in.sys.ShootdownAll(sp.ID, vpn)
+		in.record("vmshoot", sp.ID, vpn, -1)
+		in.stats.StormPagesShot++
+		keys = append(keys, tlb.MakeKey(sp.ID, vpn))
+	}
+	if len(keys) == 0 {
+		in.stats.SkippedNoTarget++
+		return
+	}
+	in.stats.VMShootdowns++
+	in.stats.Violations += in.sys.Check(check.AfterFault, "chaos:vmshoot", keys...)
+}
+
+// migrationStorm migrates one page of every live address space in a
+// single engine event — the cross-tenant burst of an OS rebalancing
+// oversubscribed physical memory. Each remap+shootdown is atomic per
+// page; the probes then verify no structure anywhere holds a stale
+// translation for any of the moved pages.
+func (in *Injector) migrationStorm() {
+	var keys []tlb.Key
+	for _, sp := range in.sys.Spaces {
+		vpn, ok := in.pickPageOf(sp)
+		if !ok {
+			continue
+		}
+		if !in.migratePage(sp, vpn) {
+			continue // skip reason already accounted
+		}
+		in.record("migstorm", sp.ID, vpn, -1)
+		in.stats.StormPagesMoved++
+		keys = append(keys, tlb.MakeKey(sp.ID, vpn))
+	}
+	if len(keys) == 0 {
+		return // every space was empty or frame-limited; counters show why
+	}
+	in.stats.MigStorms++
+	in.stats.Violations += in.sys.Check(check.AfterFault, "chaos:migstorm", keys...)
 }
 
 // reclaim performs a work-group LDS allocation on one CU, instantly

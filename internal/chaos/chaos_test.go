@@ -1,6 +1,8 @@
 package chaos_test
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"gpureach/internal/chaos"
@@ -127,5 +129,126 @@ func TestInertWithoutArm(t *testing.T) {
 	}
 	if inj.Stats().Injections != 0 {
 		t.Errorf("unarmed injector injected %d faults", inj.Stats().Injections)
+	}
+}
+
+func TestParseSpecRejectsMalformedRates(t *testing.T) {
+	for _, bad := range []string{"seed=1,rate=NaN", "seed=1,rate=-0.01", "seed=1,rate=1.5"} {
+		if _, err := chaos.ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed rate", bad)
+		}
+	}
+	if _, err := chaos.ParseSpec("seed=1,frequency=0.1"); err == nil {
+		t.Error("ParseSpec accepted an unknown key")
+	} else if !strings.Contains(err.Error(), "seed, rate, max") {
+		t.Errorf("unknown-key error %q does not list the valid keys", err)
+	}
+}
+
+func TestValidateRate(t *testing.T) {
+	for _, ok := range []float64{0, 0.001, 1} {
+		if err := chaos.ValidateRate(ok); err != nil {
+			t.Errorf("ValidateRate(%g) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), -0.1, 1.0001} {
+		if err := chaos.ValidateRate(bad); err == nil {
+			t.Errorf("ValidateRate(%g) accepted", bad)
+		}
+	}
+}
+
+// tenantRun executes the §7.2 two-tenant co-run with the given chaos
+// config armed against the fully prepared system, so the schedule
+// covers both tenants' address spaces.
+func tenantRun(t *testing.T, cfg chaos.Config) ([]core.MultiAppResult, core.Results, *chaos.Injector, *check.Checker) {
+	t.Helper()
+	mvt, _ := workloads.ByName("MVT")
+	srad, _ := workloads.ByName("SRAD")
+	m, err := core.PrepareMultiApp(core.DefaultConfig(core.Combined()), []workloads.Workload{mvt, srad}, 0.05)
+	if err != nil {
+		t.Fatalf("PrepareMultiApp: %v", err)
+	}
+	m.Sys.Checker = check.NewChecker()
+	inj := chaos.New(m.Sys, cfg)
+	inj.Arm()
+	per, res, err := m.Run()
+	if err != nil {
+		t.Fatalf("chaotic co-run failed: %v", err)
+	}
+	return per, res, inj, m.Sys.Checker
+}
+
+// TestMultiTenantChaosProbesHoldAcrossSpaces: under VM-ID-targeted
+// shootdown storms and cross-space migration storms, the tx-coherence
+// and shootdown-coverage probes must hold for every tenant's address
+// space — a shootdown that leaked into (or skipped) the other tenant's
+// structures would surface as a violation at the injection point.
+func TestMultiTenantChaosProbesHoldAcrossSpaces(t *testing.T) {
+	per, res, inj, ck := tenantRun(t, chaos.Config{Seed: 11, Rate: 0.01})
+	st := inj.Stats()
+	if st.Injections == 0 {
+		t.Fatal("chaos injected nothing into the co-run")
+	}
+	if st.VMShootdowns == 0 && st.MigStorms == 0 {
+		t.Errorf("no multi-tenant faults among %d injections (vmshoot=%d migstorm=%d)",
+			st.Injections, st.VMShootdowns, st.MigStorms)
+	}
+	if st.Violations != 0 || len(ck.Violations) != 0 {
+		t.Errorf("probes found violations under multi-tenant chaos: %v", ck.Violations)
+	}
+	if ck.Runs() == 0 {
+		t.Error("checker never ran")
+	}
+	if len(per) != 2 || per[0].FinishedAt == 0 || per[1].FinishedAt == 0 {
+		t.Errorf("tenants did not finish under chaos: %+v", per)
+	}
+	if res.Cycles == 0 {
+		t.Error("co-run produced no cycles")
+	}
+	t.Logf("injections=%d vmshoot=%d (pages=%d) migstorm=%d (pages=%d) digest=%#x",
+		st.Injections, st.VMShootdowns, st.StormPagesShot, st.MigStorms, st.StormPagesMoved, inj.Digest())
+}
+
+// TestMultiTenantScheduleDeterministic: the multi-app chaos schedule —
+// which now spans both tenants' spaces — is a pure function of
+// (config, seed, rate), like the single-app schedule.
+func TestMultiTenantScheduleDeterministic(t *testing.T) {
+	_, resA, injA, _ := tenantRun(t, chaos.Config{Seed: 5, Rate: 0.01})
+	_, resB, injB, _ := tenantRun(t, chaos.Config{Seed: 5, Rate: 0.01})
+	if injA.Digest() != injB.Digest() {
+		t.Errorf("same seed, different co-run schedules: %#x vs %#x", injA.Digest(), injB.Digest())
+	}
+	if resA.Cycles != resB.Cycles || resA.PageWalks != resB.PageWalks {
+		t.Errorf("same seed, different co-run stats:\n  A: %v\n  B: %v", resA, resB)
+	}
+	_, _, injC, _ := tenantRun(t, chaos.Config{Seed: 6, Rate: 0.01})
+	if injA.Digest() == injC.Digest() && len(injA.Log()) > 0 {
+		t.Errorf("seeds 5 and 6 produced identical non-empty co-run schedules")
+	}
+}
+
+// TestVMShootdownTargetsSingleSpace: a vmshoot-only schedule only ever
+// records events against one space per storm, and every storm's pages
+// belong to a space the system actually owns.
+func TestVMShootdownTargetsSingleSpace(t *testing.T) {
+	_, _, inj, ck := tenantRun(t, chaos.Config{Seed: 3, Rate: 0.01, VMShootWeight: 1})
+	st := inj.Stats()
+	if st.VMShootdowns == 0 {
+		t.Fatal("vmshoot-only schedule never fired a VM shootdown")
+	}
+	if st.Shootdowns+st.Migrations+st.Reclaims+st.Stalls+st.MigStorms != 0 {
+		t.Errorf("vmshoot-only schedule fired other fault kinds: %+v", st)
+	}
+	if st.StormPagesShot == 0 {
+		t.Error("VM shootdowns shot no pages")
+	}
+	for _, e := range inj.Log() {
+		if e.Kind != "vmshoot" {
+			t.Errorf("unexpected event kind %q in vmshoot-only schedule", e.Kind)
+		}
+	}
+	if st.Violations != 0 {
+		t.Errorf("vmshoot storms violated invariants: %v", ck.Violations)
 	}
 }

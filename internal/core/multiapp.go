@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"gpureach/internal/gpu"
@@ -18,31 +19,51 @@ type MultiAppResult struct {
 	KernelsRun int
 }
 
-// RunMultiApp runs the named workloads concurrently on one GPU, each in
-// its own address space (distinct VM-ID) on an even partition of the
-// CUs — the CU-level isolation the paper assumes for security (§7.2).
-// It returns per-application finish times plus the shared-system
-// end-to-end result.
-func RunMultiApp(cfg Config, apps []workloads.Workload, scale float64) ([]MultiAppResult, Results) {
-	// Shape checks on the experiment preset, before any engine exists:
-	// there is no run to keep alive yet, so structured SimErrors would
-	// have no recovery boundary to reach.
+// ValidateMultiApp checks the §7.2 preset shape before any engine
+// exists: at least one application, at most the four the 2-bit VM-ID
+// can distinguish, and an even CU partition. These are experiment-shape
+// errors, not simulation faults, so they return like
+// ResolveApps/ExpOptions.Validate errors do — listing what would be
+// valid — instead of panicking.
+func ValidateMultiApp(cfg Config, apps []workloads.Workload) error {
 	if len(apps) == 0 {
-		//gpureach:allow simerr -- pre-engine preset validation; no recovery boundary exists yet
-		panic("core: RunMultiApp with no applications")
+		return errors.New("core: multi-app run needs at least one application")
 	}
 	if len(apps) > 4 {
-		//gpureach:allow simerr -- pre-engine preset validation; no recovery boundary exists yet
-		panic("core: the 2-bit VM-ID supports at most 4 concurrent applications")
+		return fmt.Errorf("core: %d concurrent applications exceed the 2-bit VM-ID limit of 4", len(apps))
 	}
 	if cfg.GPU.NumCUs%len(apps) != 0 {
-		//gpureach:allow simerr -- pre-engine preset validation; no recovery boundary exists yet
-		panic(fmt.Sprintf("core: %d CUs do not partition across %d applications", cfg.GPU.NumCUs, len(apps)))
+		return fmt.Errorf("core: %d CUs do not partition evenly across %d applications (use 1, 2 or 4)",
+			cfg.GPU.NumCUs, len(apps))
+	}
+	return nil
+}
+
+// MultiAppRun is a prepared but not yet executed §7.2 co-run. The
+// system is fully wired and the workloads built, so callers can attach
+// a Checker or arm a chaos injector against Sys before calling Run —
+// the hook the adversarial sweep campaigns use.
+type MultiAppRun struct {
+	Sys  *System
+	apps []workloads.Workload
+	ctxs []*gpu.Context
+}
+
+// PrepareMultiApp builds one GPU with the named workloads as concurrent
+// tenants, each in its own address space (distinct VM-ID) on an even
+// partition of the CUs — the CU-level isolation the paper assumes for
+// security (§7.2). The system's Spaces are exactly the tenant spaces
+// (VM-IDs 0..n-1), so invariant probes and fault injectors see every
+// tenant's page table and nothing else.
+func PrepareMultiApp(cfg Config, apps []workloads.Workload, scale float64) (*MultiAppRun, error) {
+	if err := ValidateMultiApp(cfg, apps); err != nil {
+		return nil, err
 	}
 	s := NewSystem(cfg)
 
 	cusPerApp := cfg.GPU.NumCUs / len(apps)
 	var ctxs []*gpu.Context
+	s.Spaces = s.Spaces[:0]
 	for i, w := range apps {
 		space := vm.NewAddrSpace(vm.SpaceID{VMID: uint8(i)}, s.Frames, cfg.PageSize)
 		s.Spaces = append(s.Spaces, space)
@@ -53,19 +74,57 @@ func RunMultiApp(cfg Config, apps []workloads.Workload, scale float64) ([]MultiA
 		}
 		ctxs = append(ctxs, &gpu.Context{Space: space, Kernels: kernels, CUIDs: cuIDs})
 	}
+	// The single-app primary space is unused here; point it at the first
+	// tenant so anything targeting "the" space (chaos fallbacks, GPU
+	// wiring) targets a live page table.
+	s.Space = s.Spaces[0]
+	return &MultiAppRun{Sys: s, apps: apps, ctxs: ctxs}, nil
+}
 
-	end := s.GPU.RunContexts(ctxs)
-	s.sample("")
+// Run executes the prepared co-run to completion. Structured simulation
+// failures — page faults, deadlock, watchdog trips, invariant
+// violations found by an attached Checker — come back as a
+// *sim.SimError, mirroring System.Run.
+func (m *MultiAppRun) Run() (per []MultiAppResult, res Results, err error) {
+	defer sim.RecoverSimError(&err)
+	end := m.Sys.GPU.RunContexts(m.ctxs)
+	m.Sys.sample("")
 
-	var per []MultiAppResult
-	for i, ctx := range ctxs {
+	for i, ctx := range m.ctxs {
 		per = append(per, MultiAppResult{
-			App:        apps[i].Name,
+			App:        m.apps[i].Name,
 			FinishedAt: ctx.FinishedAt,
 			KernelsRun: ctx.KernelsRun,
 		})
 	}
-	return per, s.collect("multi", end)
+	res = m.Sys.collect("multi", end)
+	if m.Sys.Checker != nil {
+		err = m.Sys.Checker.Err()
+	}
+	return per, res, err
+}
+
+// RunMultiApp runs the named workloads concurrently on one GPU and
+// returns per-application finish times plus the shared-system
+// end-to-end result. Preset-shape problems (no apps, too many tenants,
+// uneven CU partition) and structured simulation failures are returned
+// as errors.
+func RunMultiApp(cfg Config, apps []workloads.Workload, scale float64) ([]MultiAppResult, Results, error) {
+	m, err := PrepareMultiApp(cfg, apps, scale)
+	if err != nil {
+		return nil, Results{}, err
+	}
+	return m.Run()
+}
+
+// MustRunMultiApp is RunMultiApp for trusted presets — experiment
+// tables and tests where a failure is a bug worth crashing on.
+func MustRunMultiApp(cfg Config, apps []workloads.Workload, scale float64) ([]MultiAppResult, Results) {
+	per, res, err := RunMultiApp(cfg, apps, scale)
+	if err != nil {
+		panic(err)
+	}
+	return per, res
 }
 
 // ExpMultiApp reproduces the §7.2 discussion as a measurement: pairs of
@@ -82,8 +141,8 @@ func ExpMultiApp(o ExpOptions) []*metrics.Table {
 		}
 		wa, _ := workloads.ByName(p[0])
 		wb, _ := workloads.ByName(p[1])
-		basePer, _ := RunMultiApp(DefaultConfig(Baseline()), []workloads.Workload{wa, wb}, o.scale())
-		combPer, _ := RunMultiApp(DefaultConfig(Combined()), []workloads.Workload{wa, wb}, o.scale())
+		basePer, _ := MustRunMultiApp(DefaultConfig(Baseline()), []workloads.Workload{wa, wb}, o.scale())
+		combPer, _ := MustRunMultiApp(DefaultConfig(Combined()), []workloads.Workload{wa, wb}, o.scale())
 		sa := float64(basePer[0].FinishedAt) / float64(combPer[0].FinishedAt)
 		sb := float64(basePer[1].FinishedAt) / float64(combPer[1].FinishedAt)
 		t.AddRow(p[0]+"+"+p[1], metrics.F(sa), metrics.F(sb))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"gpureach/internal/workloads"
@@ -9,7 +10,10 @@ import (
 func TestRunMultiAppPartitionsAndCompletes(t *testing.T) {
 	mvt, _ := workloads.ByName("MVT")
 	srad, _ := workloads.ByName("SRAD")
-	per, all := RunMultiApp(DefaultConfig(Baseline()), []workloads.Workload{mvt, srad}, smokeScale)
+	per, all, err := RunMultiApp(DefaultConfig(Baseline()), []workloads.Workload{mvt, srad}, smokeScale)
+	if err != nil {
+		t.Fatalf("RunMultiApp: %v", err)
+	}
 	if len(per) != 2 {
 		t.Fatalf("got %d per-app results", len(per))
 	}
@@ -36,8 +40,8 @@ func TestRunMultiAppSchemeHelpsWithoutHarm(t *testing.T) {
 	mvt, _ := workloads.ByName("MVT")
 	srad, _ := workloads.ByName("SRAD")
 	pair := []workloads.Workload{mvt, srad}
-	basePer, _ := RunMultiApp(DefaultConfig(Baseline()), pair, 0.25)
-	combPer, _ := RunMultiApp(DefaultConfig(Combined()), pair, 0.25)
+	basePer, _ := MustRunMultiApp(DefaultConfig(Baseline()), pair, 0.25)
+	combPer, _ := MustRunMultiApp(DefaultConfig(Combined()), pair, 0.25)
 	mvtSpeed := float64(basePer[0].FinishedAt) / float64(combPer[0].FinishedAt)
 	sradSpeed := float64(basePer[1].FinishedAt) / float64(combPer[1].FinishedAt)
 	if mvtSpeed < 1.0 {
@@ -48,29 +52,52 @@ func TestRunMultiAppSchemeHelpsWithoutHarm(t *testing.T) {
 	}
 }
 
+// TestRunMultiAppValidation: preset-shape problems come back as errors
+// that name the constraint, not panics.
 func TestRunMultiAppValidation(t *testing.T) {
 	w, _ := workloads.ByName("SRAD")
 	cases := []struct {
 		name string
-		f    func()
+		apps []workloads.Workload
+		want string
 	}{
-		{"no apps", func() { RunMultiApp(DefaultConfig(Baseline()), nil, 1) }},
-		{"too many apps", func() {
-			RunMultiApp(DefaultConfig(Baseline()),
-				[]workloads.Workload{w, w, w, w, w}, 1)
-		}},
-		{"non-dividing partition", func() {
-			RunMultiApp(DefaultConfig(Baseline()), []workloads.Workload{w, w, w}, 1)
-		}},
+		{"no apps", nil, "at least one"},
+		{"too many apps", []workloads.Workload{w, w, w, w, w}, "VM-ID limit"},
+		{"non-dividing partition", []workloads.Workload{w, w, w}, "partition"},
 	}
 	for _, c := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s did not panic", c.name)
-				}
-			}()
-			c.f()
-		}()
+		_, _, err := RunMultiApp(DefaultConfig(Baseline()), c.apps, 1)
+		if err == nil {
+			t.Errorf("%s: RunMultiApp accepted invalid preset", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestMultiAppSpacesAreTenantSpaces: the prepared system's address
+// spaces are exactly the tenant spaces with distinct VM-IDs, so
+// invariant probes and fault injectors see every tenant's page table.
+func TestMultiAppSpacesAreTenantSpaces(t *testing.T) {
+	mvt, _ := workloads.ByName("MVT")
+	srad, _ := workloads.ByName("SRAD")
+	m, err := PrepareMultiApp(DefaultConfig(Baseline()), []workloads.Workload{mvt, srad}, smokeScale)
+	if err != nil {
+		t.Fatalf("PrepareMultiApp: %v", err)
+	}
+	if len(m.Sys.Spaces) != 2 {
+		t.Fatalf("system has %d spaces, want 2 tenant spaces", len(m.Sys.Spaces))
+	}
+	seen := map[uint8]bool{}
+	for _, sp := range m.Sys.Spaces {
+		if seen[sp.ID.VMID] {
+			t.Errorf("duplicate VMID %d across tenant spaces", sp.ID.VMID)
+		}
+		seen[sp.ID.VMID] = true
+	}
+	if m.Sys.Space != m.Sys.Spaces[0] {
+		t.Error("primary Space does not point at a live tenant space")
 	}
 }

@@ -31,6 +31,11 @@ type Results struct {
 	ICTxHits      uint64
 	VictimLookups uint64
 	DucatiHits    uint64
+	// MidflightInvalidated counts victim-path probes that hit at issue
+	// but whose entry was shot down or reclaimed before the array read
+	// completed — the §7.1 "dead on arrival" hazard the robustness
+	// scorecard tracks per scheme under adversarial campaigns.
+	MidflightInvalidated uint64
 
 	// DRAM activity and energy (Fig 13c).
 	DRAMReads    uint64
@@ -102,7 +107,7 @@ func (s *System) collect(app string, cycles sim.Time) Results {
 	total := s.GPU.TotalStats()
 
 	var l1Hits, l1Misses uint64
-	var ldsHits, icHits, lookups uint64
+	var ldsHits, icHits, lookups, midflight uint64
 	var rejects uint64
 	for i := range s.CUs {
 		st := s.Xlats[i].L1().Stats()
@@ -112,6 +117,7 @@ func (s *System) collect(app string, cycles sim.Time) Results {
 		ldsHits += ps.LDSHits
 		icHits += ps.ICHits
 		lookups += ps.Lookups
+		midflight += ps.MidflightInvalidated
 	}
 	for _, l := range s.LDSs {
 		rejects += l.Stats().CompressionRejects
@@ -137,31 +143,32 @@ func (s *System) collect(app string, cycles sim.Time) Results {
 	}
 
 	r := Results{
-		App:                app,
-		Scheme:             s.Cfg.Scheme.Name,
-		Cycles:             cycles,
-		WaveInstrs:         total.WaveInstrs,
-		ThreadInstrs:       total.ThreadInstrs,
-		KernelsRun:         s.GPU.KernelsRun,
-		PageWalks:          s.IOMMU.Stats().Walks,
-		L2TLBMisses:        s.L2TLB.PageWalksStarted,
-		L1TLBHitRate:       ratio(l1Hits, l1Hits+l1Misses),
-		L2TLBHitRate:       l2Stats.HitRate(),
-		LDSTxHits:          ldsHits,
-		ICTxHits:           icHits,
-		VictimLookups:      lookups,
-		DucatiHits:         s.L2TLB.DucatiHits,
-		DRAMReads:          dstats.Reads,
-		DRAMWrites:         dstats.Writes,
-		DRAMEnergyPJ:       s.DRAM.TotalEnergyPJ(cycles),
-		ICUtilSamples:      s.ICUtilSamples,
-		LDSReqBytes:        s.GPU.LDSRequestBytes.Summarize(),
-		ICPortIdle:         s.ICaches[0].Port().IdleGaps().Summarize(),
-		LDSPortIdle:        s.LDSs[0].Port().IdleGaps().Summarize(),
-		PeakTxResident:     s.PeakTxResident,
-		FreeTxCapacity:     freeCap,
-		SharedTxFraction:   shared,
-		CompressionRejects: rejects,
+		App:                  app,
+		Scheme:               s.Cfg.Scheme.Name,
+		Cycles:               cycles,
+		WaveInstrs:           total.WaveInstrs,
+		ThreadInstrs:         total.ThreadInstrs,
+		KernelsRun:           s.GPU.KernelsRun,
+		PageWalks:            s.IOMMU.Stats().Walks,
+		L2TLBMisses:          s.L2TLB.PageWalksStarted,
+		L1TLBHitRate:         ratio(l1Hits, l1Hits+l1Misses),
+		L2TLBHitRate:         l2Stats.HitRate(),
+		LDSTxHits:            ldsHits,
+		ICTxHits:             icHits,
+		VictimLookups:        lookups,
+		MidflightInvalidated: midflight,
+		DucatiHits:           s.L2TLB.DucatiHits,
+		DRAMReads:            dstats.Reads,
+		DRAMWrites:           dstats.Writes,
+		DRAMEnergyPJ:         s.DRAM.TotalEnergyPJ(cycles),
+		ICUtilSamples:        s.ICUtilSamples,
+		LDSReqBytes:          s.GPU.LDSRequestBytes.Summarize(),
+		ICPortIdle:           s.ICaches[0].Port().IdleGaps().Summarize(),
+		LDSPortIdle:          s.LDSs[0].Port().IdleGaps().Summarize(),
+		PeakTxResident:       s.PeakTxResident,
+		FreeTxCapacity:       freeCap,
+		SharedTxFraction:     shared,
+		CompressionRejects:   rejects,
 	}
 	if total.ThreadInstrs > 0 {
 		r.PTWPKI = float64(r.PageWalks) / (float64(total.ThreadInstrs) / 1000)

@@ -22,12 +22,13 @@ type Aggregate struct {
 	Points []Point `json:"points"`
 }
 
-// Point is one (scale, L2-TLB, page size, chaos seed) cell of the
+// Point is one (scale, L2-TLB, page size, chaos cell) cell of the
 // sensitivity matrix with its cross-app aggregation.
 type Point struct {
 	Scale     float64 `json:"scale"`
 	L2TLB     int     `json:"l2tlb"`
 	PageSize  string  `json:"pagesize"`
+	ChaosRate float64 `json:"chaos_rate"`
 	ChaosSeed uint64  `json:"chaos_seed"`
 
 	Schemes []string `json:"schemes"`
@@ -64,19 +65,21 @@ type pointKey struct {
 	scale    float64
 	l2tlb    int
 	pageSize string
+	rate     float64
 	seed     uint64
 }
 
 // Aggregate reduces the campaign's records. Points appear in spec
-// order (L2-TLB × page size × seed), apps and schemes in spec order
-// within each point.
+// order (L2-TLB × page size × chaos cell), app-axis rows (solo
+// workloads, then tenancy mixes) and schemes in spec order within each
+// point.
 func (c *Campaign) Aggregate() *Aggregate {
 	byKey := map[pointKey]map[string]map[string]Record{} // point → app → scheme
 	for _, rec := range c.Records {
 		if rec.Digest == "" || rec.Failed() {
 			continue
 		}
-		k := pointKey{rec.Run.Scale, rec.Run.L2TLB, rec.Run.PageSize, rec.Run.ChaosSeed}
+		k := pointKey{rec.Run.Scale, rec.Run.L2TLB, rec.Run.PageSize, rec.Run.ChaosRate, rec.Run.ChaosSeed}
 		if byKey[k] == nil {
 			byKey[k] = map[string]map[string]Record{}
 		}
@@ -90,11 +93,13 @@ func (c *Campaign) Aggregate() *Aggregate {
 	baseName := c.Spec.Schemes[0] // Normalize guarantees "baseline" first
 	for _, l2 := range c.Spec.L2TLB {
 		for _, ps := range c.Spec.PageSizes {
-			for _, seed := range c.Spec.ChaosSeeds {
-				k := pointKey{c.Spec.Scale, l2, ps, seed}
+			for _, cell := range c.Spec.chaosCells() {
+				k := pointKey{c.Spec.Scale, l2, ps, cell.rate, cell.seed}
 				apps := byKey[k]
 				pt := Point{
-					Scale: c.Spec.Scale, L2TLB: l2, PageSize: ps, ChaosSeed: seed,
+					Scale: c.Spec.Scale, L2TLB: l2, PageSize: ps,
+					ChaosRate:                cell.rate,
+					ChaosSeed:                cell.seed,
 					Schemes:                  append([]string{}, c.Spec.Schemes...),
 					GeomeanSpeedup:           map[string]float64{},
 					GeomeanSpeedupHighMedium: map[string]float64{},
@@ -103,16 +108,21 @@ func (c *Campaign) Aggregate() *Aggregate {
 				speedups := map[string][]float64{}
 				speedupsHM := map[string][]float64{}
 				walks := map[string][]float64{}
-				for _, app := range c.Spec.Apps {
+				for _, u := range c.Spec.units() {
+					app := u.app
 					schemes := apps[app]
 					base, ok := schemes[baseName]
 					if !ok {
 						pt.Missing = append(pt.Missing, app+"/"+baseName)
 						continue
 					}
-					w, _ := workloads.ByName(app)
+					w, solo := workloads.ByName(app)
+					cat := string(w.Category)
+					if u.tenants != "" {
+						cat = "multi"
+					}
 					row := AppRow{
-						App: app, Category: string(w.Category),
+						App: app, Category: cat,
 						BaselineCycles: uint64(base.Results.Cycles),
 						BaselineWalks:  base.Results.PageWalks,
 						Speedup:        map[string]float64{},
@@ -132,7 +142,9 @@ func (c *Campaign) Aggregate() *Aggregate {
 						row.Speedup[scheme] = sp
 						row.Digests[scheme] = rec.Digest
 						speedups[scheme] = append(speedups[scheme], sp)
-						if w.Category != workloads.Low {
+						if solo && w.Category != workloads.Low {
+							// Tenancy mixes have no Table 2 PKI category;
+							// the paper's High+Medium row stays solo-only.
 							speedupsHM[scheme] = append(speedupsHM[scheme], sp)
 						}
 						if base.Results.PageWalks > 0 {
@@ -174,7 +186,7 @@ func (a *Aggregate) CSV() ([]byte, error) {
 	var buf bytes.Buffer
 	w := csv.NewWriter(&buf)
 	if err := w.Write([]string{
-		"scale", "l2tlb", "pagesize", "chaos_seed",
+		"scale", "l2tlb", "pagesize", "chaos_rate", "chaos_seed",
 		"app", "category", "scheme", "digest", "speedup", "norm_walks",
 	}); err != nil {
 		return nil, err
@@ -193,6 +205,7 @@ func (a *Aggregate) CSV() ([]byte, error) {
 				if err := w.Write([]string{
 					strconv.FormatFloat(pt.Scale, 'g', -1, 64),
 					strconv.Itoa(pt.L2TLB), pt.PageSize,
+					strconv.FormatFloat(pt.ChaosRate, 'g', -1, 64),
 					strconv.FormatUint(pt.ChaosSeed, 10),
 					row.App, row.Category, scheme, row.Digests[scheme],
 					strconv.FormatFloat(sp, 'g', -1, 64), nw,
@@ -213,8 +226,8 @@ func (a *Aggregate) Tables() []*metrics.Table {
 	var out []*metrics.Table
 	for _, pt := range a.Points {
 		label := fmt.Sprintf("l2tlb=%d page=%s scale=%g", pt.L2TLB, pt.PageSize, pt.Scale)
-		if pt.ChaosSeed != 0 {
-			label += fmt.Sprintf(" chaos=%d", pt.ChaosSeed)
+		if pt.ChaosRate > 0 {
+			label += fmt.Sprintf(" chaos=%g seed=%d", pt.ChaosRate, pt.ChaosSeed)
 		}
 		headers := []string{"app"}
 		schemes := pt.Schemes[1:] // skip baseline (identically 1.0)

@@ -39,13 +39,36 @@ type Options struct {
 	// Backoff is the base delay before a retry, doubling per attempt
 	// (default 100ms; tests set it near zero).
 	Backoff time.Duration
+	// Sleep replaces time.Sleep for retry backoff so tests can assert
+	// the exact backoff schedule without waiting it out. Default:
+	// time.Sleep.
+	Sleep func(time.Duration)
 	// Progress, when set, observes every completed run (executed,
 	// cached, journal-skipped or failed) with running totals. Called
 	// from worker goroutines under the engine lock — keep it fast.
 	Progress func(Progress)
 	// RunFn overrides the simulation entry point (tests inject
 	// failures and counters here). Default: ExecuteRun.
-	RunFn func(Run) (core.Results, error)
+	RunFn func(Run) (RunResult, error)
+}
+
+// RunResult is everything one simulation hands back to the engine: the
+// shared-system measurements, per-tenant outcomes for multi-app runs,
+// and the chaos-campaign summary when faults were injected. A failing
+// run still returns its Chaos outcome alongside the error — scored
+// terminal-failure rows keep their injector evidence.
+type RunResult struct {
+	Results core.Results
+	PerApp  []core.MultiAppResult
+	Chaos   *ChaosOutcome
+}
+
+// ChaosOutcome summarizes the injected-fault side of one run: the
+// schedule digest (a pure function of config, seed and rate — the
+// determinism witness) and the injector's counters.
+type ChaosOutcome struct {
+	ScheduleDigest string      `json:"schedule_digest"`
+	Stats          chaos.Stats `json:"stats"`
 }
 
 // Progress is one campaign progress observation.
@@ -99,6 +122,9 @@ func Execute(spec Spec, opts Options) (*Campaign, error) {
 	}
 	if opts.Backoff <= 0 {
 		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
 	}
 	runFn := opts.RunFn
 	if runFn == nil {
@@ -232,52 +258,104 @@ func Execute(spec Spec, opts Options) (*Campaign, error) {
 // structured simulation failures (*sim.SimError — page fault, deadlock,
 // watchdog, invariant violation) are retried, with exponential backoff;
 // every attempt's error is recorded so the journal shows the full
-// history (seed included, via the Run descriptor).
-func executeWithRetry(run Run, digest string, runFn func(Run) (core.Results, error), opts Options) Record {
+// history (seed included, via the Run descriptor). A run that exhausts
+// its attempts becomes a terminal-failure record — journaled, never
+// cached, scored by the robustness scorecard — not a campaign abort.
+func executeWithRetry(run Run, digest string, runFn func(Run) (RunResult, error), opts Options) Record {
 	rec := Record{Digest: digest, Run: run}
 	for attempt := 1; ; attempt++ {
 		rec.Attempts = attempt
 		start := time.Now()
-		res, err := runFn(run)
+		rr, err := runFn(run)
 		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+		rec.PerApp = rr.PerApp
+		rec.Chaos = rr.Chaos
 		if err == nil {
-			rec.Results = res
-			rec.Metrics = resultRegistry(res)
-			rec.Err = ""
+			rec.Results = rr.Results
+			rec.Metrics = resultRegistry(rr.Results)
+			rec.Err, rec.ErrKind = "", ""
 			return rec
 		}
 		var simErr *sim.SimError
 		retryable := errors.As(err, &simErr)
 		rec.Err = err.Error()
+		rec.ErrKind = ""
+		if retryable {
+			rec.ErrKind = string(simErr.Kind)
+			if simErr.Kind == sim.ErrWatchdog {
+				rec.WatchdogTrips++
+			}
+		}
 		if !retryable || attempt >= opts.MaxAttempts {
 			return rec
 		}
 		rec.RetryErrors = append(rec.RetryErrors, err.Error())
-		time.Sleep(opts.Backoff << (attempt - 1))
+		opts.Sleep(opts.Backoff << (attempt - 1))
 	}
 }
 
 // ExecuteRun performs one simulation from scratch: fresh system, fresh
-// address space, optional seeded chaos injection with live invariant
+// address space(s), optional seeded chaos injection with live invariant
 // checks. It never shares state with concurrent runs, which is what
 // makes campaign-level parallelism sound.
-func ExecuteRun(run Run) (core.Results, error) {
+func ExecuteRun(run Run) (RunResult, error) {
 	cfg, err := run.Config()
 	if err != nil {
-		return core.Results{}, err
+		return RunResult{}, err
+	}
+	if run.Tenants != "" {
+		return executeTenancy(run, cfg)
 	}
 	w, ok := workloads.ByName(run.App)
 	if !ok {
-		return core.Results{}, fmt.Errorf("sweep: unknown workload %q", run.App)
+		return RunResult{}, fmt.Errorf("sweep: unknown workload %q", run.App)
 	}
 	sys := core.NewSystem(cfg)
-	if run.ChaosSeed != 0 && run.ChaosRate > 0 {
-		sys.Checker = check.NewChecker()
-		inj := chaos.New(sys, chaos.Config{Seed: run.ChaosSeed, Rate: run.ChaosRate})
-		inj.Arm()
-	}
+	inj := armChaos(sys, run)
 	kernels := w.Build(sys.Space, run.Scale)
-	return sys.Run(w.Name, kernels)
+	res, err := sys.Run(w.Name, kernels)
+	return RunResult{Results: res, Chaos: chaosOutcome(inj)}, err
+}
+
+// executeTenancy is the multi-tenant leg of ExecuteRun: the §7.2
+// co-run, prepared first so the chaos injector can be armed against
+// the fully wired system — its schedule then covers every tenant's
+// address space, not just a primary one.
+func executeTenancy(run Run, cfg core.Config) (RunResult, error) {
+	apps, err := SplitTenants(run.Tenants)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("sweep: %w", err)
+	}
+	m, err := core.PrepareMultiApp(cfg, apps, run.Scale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	inj := armChaos(m.Sys, run)
+	per, res, err := m.Run()
+	return RunResult{Results: res, PerApp: per, Chaos: chaosOutcome(inj)}, err
+}
+
+// armChaos attaches a live invariant checker and a seeded injector for
+// chaos cells (rate > 0); fault-free cells run bare, exactly as they
+// did before the chaos dimensions existed.
+func armChaos(sys *core.System, run Run) *chaos.Injector {
+	if run.ChaosRate <= 0 {
+		return nil
+	}
+	sys.Checker = check.NewChecker()
+	inj := chaos.New(sys, chaos.Config{Seed: run.ChaosSeed, Rate: run.ChaosRate})
+	inj.Arm()
+	return inj
+}
+
+func chaosOutcome(inj *chaos.Injector) *ChaosOutcome {
+	if inj == nil {
+		return nil
+	}
+	return &ChaosOutcome{
+		ScheduleDigest: fmt.Sprintf("%016x", inj.Digest()),
+		Stats:          inj.Stats(),
+	}
 }
 
 // resultRegistry snapshots a run's headline counters into a metrics
@@ -296,6 +374,7 @@ func resultRegistry(r core.Results) *metrics.Registry {
 	reg.Set("lds_tx_hits", float64(r.LDSTxHits))
 	reg.Set("ic_tx_hits", float64(r.ICTxHits))
 	reg.Set("victim_lookups", float64(r.VictimLookups))
+	reg.Set("midflight_invalidated", float64(r.MidflightInvalidated))
 	reg.Set("ducati_hits", float64(r.DucatiHits))
 	reg.Set("dram_reads", float64(r.DRAMReads))
 	reg.Set("dram_writes", float64(r.DRAMWrites))

@@ -30,10 +30,25 @@ type Record struct {
 	// RetryErrors records the error of each failed attempt that was
 	// retried, seed and all, for post-mortems.
 	RetryErrors []string `json:"retry_errors,omitempty"`
+	// PerApp holds per-tenant outcomes for §7.2 multi-app (tenancy)
+	// runs.
+	PerApp []core.MultiAppResult `json:"per_app,omitempty"`
+	// Chaos summarizes the fault-injection side of a chaos run —
+	// present on terminal failures too, so scored failure rows keep
+	// their injector evidence (schedule digest, counters, violations).
+	Chaos *ChaosOutcome `json:"chaos,omitempty"`
 	// Err is set when the run failed terminally (all attempts
 	// exhausted); failed records are journaled but never cached, so a
 	// resume retries them.
 	Err string `json:"error,omitempty"`
+	// ErrKind is the sim.ErrorKind of a terminal structured failure
+	// ("" for successes and unstructured errors) — what the robustness
+	// scorecard buckets degradation by.
+	ErrKind string `json:"error_kind,omitempty"`
+	// WatchdogTrips counts attempts (retried ones included) that ended
+	// in a RunGuarded watchdog trip, so a run that livelocked twice and
+	// then completed still scores its trips.
+	WatchdogTrips int `json:"watchdog_trips,omitempty"`
 	// Cached marks records satisfied from the result cache rather than
 	// executed in this campaign.
 	Cached bool `json:"cached,omitempty"`

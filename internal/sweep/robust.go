@@ -1,0 +1,312 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"gpureach/internal/metrics"
+)
+
+// Robustness is the campaign's adversarial scorecard: for every
+// app-axis row × scheme × non-zero chaos rate (at every L2-TLB × page
+// size point), how the design degraded across the seed trials —
+// completion rate, invariant-violation rate, mid-flight invalidation
+// rate, watchdog trips, and slowdown against the fault-free anchor —
+// each as a mean with a 95% Student-t confidence interval across
+// seeds. Like the Aggregate, identical campaigns produce byte-identical
+// JSON and CSV at any worker count.
+type Robustness struct {
+	Rows []RobustRow `json:"rows"`
+}
+
+// RobustRow is one (point, app-axis row, scheme, chaos rate) cell of
+// the scorecard.
+type RobustRow struct {
+	L2TLB     int     `json:"l2tlb"`
+	PageSize  string  `json:"pagesize"`
+	Scale     float64 `json:"scale"`
+	App       string  `json:"app"`
+	Tenants   string  `json:"tenants,omitempty"`
+	Scheme    string  `json:"scheme"`
+	ChaosRate float64 `json:"chaos_rate"`
+	// Trials is the number of seed trials scored at this rate.
+	Trials int `json:"trials"`
+
+	// Completion is the fraction of trials that finished (retries
+	// allowed): a terminal failure of any kind scores 0.
+	Completion Stat `json:"completion"`
+	// Invariants is the fraction of trials where a live probe caught a
+	// violated invariant (from the injector's counters, which survive
+	// terminal failures).
+	Invariants Stat `json:"invariants"`
+	// Midflight is the §7.1 dead-on-arrival rate of completed trials:
+	// victim-path probes invalidated between issue and array read, per
+	// post-L1 lookup.
+	Midflight Stat `json:"midflight"`
+	// Watchdog is the per-trial count of RunGuarded watchdog trips,
+	// counting retried attempts — a run that livelocked twice before
+	// completing still scores 2.
+	Watchdog Stat `json:"watchdog"`
+	// Slowdown is cycles at this rate over fault-free cycles of the
+	// same row, for completed trials with a fault-free anchor.
+	Slowdown Stat `json:"slowdown"`
+	// Terminal lists the failed trials in seed order with their
+	// structured error kinds, so the scorecard shows *how* a scheme
+	// degraded, not just that it did.
+	Terminal []string `json:"terminal,omitempty"`
+}
+
+// Stat is a sample mean with its 95% Student-t confidence half-width.
+// N=1 reports CI95 0 (no spread is estimable from one trial); N=0 is
+// the zero Stat.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// tCrit returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (exact to df=30, then the standard coarse rows,
+// asymptoting to the normal 1.96).
+func tCrit(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df <= 0:
+		return 0
+	case df <= len(table):
+		return table[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.96
+	}
+}
+
+// statOf reduces samples (in deterministic trial order) to mean ±
+// t-interval. The accumulation order is the caller's slice order,
+// never a map range, so the float sums are reproducible.
+func statOf(samples []float64) Stat {
+	n := len(samples)
+	if n == 0 {
+		return Stat{}
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Stat{Mean: mean, N: 1}
+	}
+	ss := 0.0
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return Stat{Mean: mean, CI95: tCrit(n-1) * sd / math.Sqrt(float64(n)), N: n}
+}
+
+// Robustness builds the scorecard from the campaign's records. Rows
+// appear in spec order (L2-TLB × page size × app-axis unit × scheme ×
+// rate); campaigns without a non-zero chaos rate have no rows.
+func (c *Campaign) Robustness() *Robustness {
+	recs := make(map[Run]Record, len(c.Records))
+	for _, r := range c.Records {
+		if r.Digest != "" {
+			recs[r.Run] = r
+		}
+	}
+	rb := &Robustness{}
+	for _, l2 := range c.Spec.L2TLB {
+		for _, ps := range c.Spec.PageSizes {
+			for _, u := range c.Spec.units() {
+				for _, scheme := range c.Spec.Schemes {
+					key := Run{
+						App: u.app, Tenants: u.tenants, Scheme: scheme,
+						Scale: c.Spec.Scale, L2TLB: l2, PageSize: ps,
+					}
+					anchor, anchorOK := recs[key] // rate 0, seed 0
+					anchorOK = anchorOK && !anchor.Failed() && anchor.Results.Cycles > 0
+					for _, rate := range c.Spec.ChaosRates {
+						if rate == 0 {
+							continue
+						}
+						row := RobustRow{
+							L2TLB: l2, PageSize: ps, Scale: c.Spec.Scale,
+							App: u.app, Tenants: u.tenants, Scheme: scheme,
+							ChaosRate: rate,
+						}
+						var completion, invariants, midflight, watchdog, slowdown []float64
+						for _, seed := range c.Spec.ChaosSeeds {
+							key.ChaosSeed, key.ChaosRate = seed, rate
+							rec, ok := recs[key]
+							if !ok {
+								continue
+							}
+							row.Trials++
+							watchdog = append(watchdog, float64(rec.WatchdogTrips))
+							invariants = append(invariants, indicator(violated(rec)))
+							if rec.Failed() {
+								completion = append(completion, 0)
+								row.Terminal = append(row.Terminal,
+									fmt.Sprintf("seed %d: %s", seed, kindOf(rec)))
+								continue
+							}
+							completion = append(completion, 1)
+							lookups := rec.Results.VictimLookups
+							if lookups == 0 {
+								lookups = 1
+							}
+							midflight = append(midflight,
+								float64(rec.Results.MidflightInvalidated)/float64(lookups))
+							if anchorOK {
+								slowdown = append(slowdown,
+									float64(rec.Results.Cycles)/float64(anchor.Results.Cycles))
+							}
+						}
+						row.Completion = statOf(completion)
+						row.Invariants = statOf(invariants)
+						row.Midflight = statOf(midflight)
+						row.Watchdog = statOf(watchdog)
+						row.Slowdown = statOf(slowdown)
+						rb.Rows = append(rb.Rows, row)
+					}
+				}
+			}
+		}
+	}
+	return rb
+}
+
+// violated reports whether a trial tripped a live invariant probe:
+// either the injector's after-fault probes counted violations (the
+// counters survive terminal failures) or the run died with a
+// structured invariant-violation error.
+func violated(rec Record) bool {
+	if rec.Chaos != nil && rec.Chaos.Stats.Violations > 0 {
+		return true
+	}
+	return rec.ErrKind == "invariant-violation"
+}
+
+func indicator(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// kindOf labels a terminal failure for the scorecard: the structured
+// sim.ErrorKind when there is one, "error" for unstructured failures.
+func kindOf(rec Record) string {
+	if rec.ErrKind != "" {
+		return rec.ErrKind
+	}
+	return "error"
+}
+
+// JSON renders the scorecard deterministically.
+func (r *Robustness) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// CSV renders one row per scorecard cell in deterministic order.
+func (r *Robustness) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	header := []string{
+		"scale", "l2tlb", "pagesize", "app", "tenants", "scheme", "chaos_rate", "trials",
+		"completion_mean", "completion_ci95",
+		"invariants_mean", "invariants_ci95",
+		"midflight_mean", "midflight_ci95",
+		"watchdog_mean", "watchdog_ci95",
+		"slowdown_mean", "slowdown_ci95", "slowdown_n",
+		"terminal",
+	}
+	if err := w.Write(header); err != nil {
+		return nil, err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range r.Rows {
+		terminal := ""
+		for i, t := range row.Terminal {
+			if i > 0 {
+				terminal += "; "
+			}
+			terminal += t
+		}
+		if err := w.Write([]string{
+			g(row.Scale), strconv.Itoa(row.L2TLB), row.PageSize,
+			row.App, row.Tenants, row.Scheme, g(row.ChaosRate),
+			strconv.Itoa(row.Trials),
+			g(row.Completion.Mean), g(row.Completion.CI95),
+			g(row.Invariants.Mean), g(row.Invariants.CI95),
+			g(row.Midflight.Mean), g(row.Midflight.CI95),
+			g(row.Watchdog.Mean), g(row.Watchdog.CI95),
+			g(row.Slowdown.Mean), g(row.Slowdown.CI95), strconv.Itoa(row.Slowdown.N),
+			terminal,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	return buf.Bytes(), w.Error()
+}
+
+// fmtStat renders a Stat for the text tables: mean±half-width, or "-"
+// when no trial produced the metric (e.g. slowdown when every trial
+// failed).
+func fmtStat(s Stat) string {
+	if s.N == 0 {
+		return "-"
+	}
+	if s.N == 1 {
+		return fmt.Sprintf("%.4g", s.Mean)
+	}
+	return fmt.Sprintf("%.4g±%.2g", s.Mean, s.CI95)
+}
+
+// Tables renders the scorecard as one text table per sensitivity point,
+// printed by the CLI next to the Figure 13-shaped sweep tables.
+func (r *Robustness) Tables() []*metrics.Table {
+	var out []*metrics.Table
+	var cur *metrics.Table
+	curL2, curPS := -1, ""
+	for _, row := range r.Rows {
+		if cur == nil || row.L2TLB != curL2 || row.PageSize != curPS {
+			curL2, curPS = row.L2TLB, row.PageSize
+			cur = metrics.NewTable(
+				fmt.Sprintf("Robustness scorecard — l2tlb=%d page=%s scale=%g (mean±95%% CI across seeds)",
+					row.L2TLB, row.PageSize, row.Scale),
+				"app", "scheme", "rate", "trials", "complete", "invariants", "midflight", "watchdog", "slowdown")
+			cur.AddNote("completion/invariants are trial fractions; midflight is dead-on-arrival probes per post-L1 lookup; slowdown is vs the fault-free run")
+			out = append(out, cur)
+		}
+		cur.AddRow(row.App, row.Scheme,
+			strconv.FormatFloat(row.ChaosRate, 'g', -1, 64),
+			strconv.Itoa(row.Trials),
+			fmtStat(row.Completion), fmtStat(row.Invariants),
+			fmtStat(row.Midflight), fmtStat(row.Watchdog), fmtStat(row.Slowdown))
+		for _, t := range row.Terminal {
+			cur.AddNote("%s/%s rate=%g %s", row.App, row.Scheme, row.ChaosRate, t)
+		}
+	}
+	return out
+}

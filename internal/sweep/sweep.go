@@ -18,35 +18,55 @@ import (
 	"sort"
 	"strings"
 
+	"gpureach/internal/chaos"
 	"gpureach/internal/core"
 	"gpureach/internal/workloads"
 )
 
 // Spec is the declarative campaign matrix. Empty axes mean "the
 // default": all ten apps, the baseline scheme only, scale 1.0, the
-// Table 1 512-entry L2 TLB, 4K pages, no chaos. Normalize fills the
-// defaults and guarantees the baseline scheme is present (speedups are
-// relative to it).
+// Table 1 512-entry L2 TLB, 4K pages, no chaos, no co-tenants.
+// Normalize fills the defaults and guarantees the baseline scheme and
+// the fault-free chaos rate are present (speedups are relative to the
+// former, robustness slowdowns to the latter).
 type Spec struct {
 	Apps      []string `json:"apps,omitempty"`
 	Schemes   []string `json:"schemes,omitempty"`
 	Scale     float64  `json:"scale,omitempty"`
 	L2TLB     []int    `json:"l2tlb,omitempty"`
 	PageSizes []string `json:"pagesizes,omitempty"`
-	// ChaosSeeds are fault-injection seeds (§7.1 faults via
-	// internal/chaos); seed 0 means a fault-free run. ChaosRate is the
-	// expected injections per cycle for non-zero seeds.
+	// Tenancy lists §7.2 multi-application co-run mixes, each a
+	// "+"-joined workload list ("MVT+SRAD"). Every mix becomes one more
+	// row of the app axis, simulated on an even CU partition with one
+	// address space (distinct VM-ID) per tenant.
+	Tenancy []string `json:"tenancy,omitempty"`
+	// ChaosRates is the adversarial-condition ladder: expected fault
+	// injections per cycle (§7.1 faults via internal/chaos). Rate 0 —
+	// the fault-free anchor every robustness metric is measured
+	// against — is always present after Normalize; each non-zero rate
+	// is simulated once per chaos seed.
+	ChaosRates []float64 `json:"chaos_rates,omitempty"`
+	// ChaosSeeds are the per-rate trial seeds. Seed 0 is reserved for
+	// the fault-free cell, so every listed seed must be non-zero.
+	// Empty means seeds 1..Trials.
 	ChaosSeeds []uint64 `json:"chaos_seeds,omitempty"`
-	ChaosRate  float64  `json:"chaos_rate,omitempty"`
+	// Trials is sugar for ChaosSeeds: with no explicit seed list,
+	// Trials=T runs each non-zero chaos rate at seeds 1..T (default 1).
+	// Ignored when ChaosSeeds is set, and meaningless without a
+	// non-zero rate (the fault-free cell is one deterministic run).
+	Trials int `json:"trials,omitempty"`
 }
 
-// Normalize returns the spec with defaults filled in: all apps if none
-// named, the baseline scheme prepended (and deduplicated) so every
-// point has its speedup reference, scale clamped to 1.0 when unset,
-// and singleton default axes elsewhere.
+// Normalize returns the spec with defaults filled in: all apps if
+// neither apps nor tenancy mixes are named, the baseline scheme
+// prepended (and deduplicated) so every point has its speedup
+// reference, the fault-free chaos rate prepended (and the ladder
+// deduplicated) so every robustness point has its slowdown anchor,
+// scale clamped to 1.0 when unset, and singleton default axes
+// elsewhere.
 func (s Spec) Normalize() Spec {
 	n := s
-	if len(n.Apps) == 0 {
+	if len(n.Apps) == 0 && len(n.Tenancy) == 0 {
 		for _, w := range workloads.All() {
 			n.Apps = append(n.Apps, w.Name)
 		}
@@ -69,15 +89,90 @@ func (s Spec) Normalize() Spec {
 	if len(n.PageSizes) == 0 {
 		n.PageSizes = []string{"4K"}
 	}
-	if len(n.ChaosSeeds) == 0 {
-		n.ChaosSeeds = []uint64{0}
+	rates := []float64{0}
+	seenRate := map[float64]bool{0: true}
+	for _, r := range n.ChaosRates {
+		if !seenRate[r] {
+			seenRate[r] = true
+			rates = append(rates, r)
+		}
+	}
+	n.ChaosRates = rates
+	if len(rates) > 1 && len(n.ChaosSeeds) == 0 {
+		trials := n.Trials
+		if trials <= 0 {
+			trials = 1
+		}
+		for t := 1; t <= trials; t++ {
+			n.ChaosSeeds = append(n.ChaosSeeds, uint64(t))
+		}
 	}
 	return n
 }
 
-// Validate rejects unknown apps, schemes and page sizes with errors
-// that list the valid names. It expects a Normalized spec but also
-// works on a raw one.
+// SplitTenants resolves a "+"-joined tenancy mix into its workloads,
+// with errors that list the valid names.
+func SplitTenants(mix string) ([]workloads.Workload, error) {
+	var names []string
+	for _, p := range strings.Split(mix, "+") {
+		if p = strings.TrimSpace(p); p != "" {
+			names = append(names, p)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty tenancy mix %q", mix)
+	}
+	return core.ResolveApps(names)
+}
+
+// unit is one row of the app axis: a solo workload, or a tenancy mix
+// (named by its "+"-joined tenant list, with tenants set).
+type unit struct {
+	app     string
+	tenants string
+}
+
+// units enumerates the app-axis rows in spec order: solo workloads
+// first, then tenancy mixes.
+func (s Spec) units() []unit {
+	var us []unit
+	for _, app := range s.Apps {
+		us = append(us, unit{app: app})
+	}
+	for _, mix := range s.Tenancy {
+		us = append(us, unit{app: mix, tenants: mix})
+	}
+	return us
+}
+
+// chaosCell is one chaos coordinate of the matrix: an injection rate
+// and the schedule seed for one trial at that rate.
+type chaosCell struct {
+	rate float64
+	seed uint64
+}
+
+// chaosCells enumerates the chaos coordinates in deterministic spec
+// order: the fault-free anchor (rate 0, seed 0) first, then every
+// non-zero rate × trial seed.
+func (s Spec) chaosCells() []chaosCell {
+	cells := []chaosCell{{0, 0}}
+	for _, r := range s.ChaosRates {
+		if r == 0 {
+			continue
+		}
+		for _, seed := range s.ChaosSeeds {
+			cells = append(cells, chaosCell{r, seed})
+		}
+	}
+	return cells
+}
+
+// Validate rejects unknown apps, schemes, page sizes and tenancy
+// mixes with errors that list the valid names, and malformed chaos
+// dimensions (NaN/negative/super-unity rates, the reserved seed 0,
+// seeds without a rate to pair with) with errors that name the rule.
+// It expects a Normalized spec but also works on a raw one.
 func (s Spec) Validate() error {
 	if _, err := core.ResolveApps(s.Apps); err != nil {
 		return fmt.Errorf("sweep spec: %w", err)
@@ -99,31 +194,57 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("sweep spec: non-positive L2 TLB size %d", e)
 		}
 	}
-	if s.ChaosRate < 0 {
-		return fmt.Errorf("sweep spec: negative chaos rate %g", s.ChaosRate)
+	for _, mix := range s.Tenancy {
+		apps, err := SplitTenants(mix)
+		if err != nil {
+			return fmt.Errorf("sweep spec: tenancy: %w", err)
+		}
+		if err := core.ValidateMultiApp(core.DefaultConfig(core.Baseline()), apps); err != nil {
+			return fmt.Errorf("sweep spec: tenancy %q: %w", mix, err)
+		}
+	}
+	hasChaos := false
+	for _, r := range s.ChaosRates {
+		if err := chaos.ValidateRate(r); err != nil {
+			return fmt.Errorf("sweep spec: chaos rate: %w", err)
+		}
+		if r > 0 {
+			hasChaos = true
+		}
+	}
+	for _, seed := range s.ChaosSeeds {
+		if seed == 0 {
+			return fmt.Errorf("sweep spec: chaos seed 0 is reserved for the fault-free cell")
+		}
+	}
+	if len(s.ChaosSeeds) > 0 && !hasChaos {
+		return fmt.Errorf("sweep spec: chaos seeds %v given without a non-zero chaos rate", s.ChaosSeeds)
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("sweep spec: negative trials %d", s.Trials)
 	}
 	return nil
 }
 
 // Expand enumerates the matrix into run descriptors in deterministic
-// nested order: app (outermost) × scheme × L2-TLB × page size × chaos
-// seed. Aggregation and the determinism tests rely on this order being
-// a pure function of the spec.
+// nested order: app-axis unit (solo workloads, then tenancy mixes) ×
+// scheme × L2-TLB × page size × chaos cell (fault-free first, then
+// rate × seed). Aggregation, the robustness scorecard and the
+// determinism tests rely on this order being a pure function of the
+// spec.
 func (s Spec) Expand() []Run {
 	var runs []Run
-	for _, app := range s.Apps {
+	for _, u := range s.units() {
 		for _, scheme := range s.Schemes {
 			for _, l2 := range s.L2TLB {
 				for _, ps := range s.PageSizes {
-					for _, seed := range s.ChaosSeeds {
-						r := Run{
-							App: app, Scheme: scheme, Scale: s.Scale,
-							L2TLB: l2, PageSize: ps, ChaosSeed: seed,
-						}
-						if seed != 0 {
-							r.ChaosRate = s.ChaosRate
-						}
-						runs = append(runs, r)
+					for _, cell := range s.chaosCells() {
+						runs = append(runs, Run{
+							App: u.app, Tenants: u.tenants,
+							Scheme: scheme, Scale: s.Scale,
+							L2TLB: l2, PageSize: ps,
+							ChaosSeed: cell.seed, ChaosRate: cell.rate,
+						})
 					}
 				}
 			}
@@ -136,7 +257,13 @@ func (s Spec) Expand() []Run {
 // matrix. Its canonical form (and hence digest) is a content address
 // for the run's results.
 type Run struct {
-	App       string  `json:"app"`
+	App string `json:"app"`
+	// Tenants is the "+"-joined co-run mix for a §7.2 multi-tenant run;
+	// empty for solo runs. Tenancy runs repeat the mix string in App so
+	// rows label naturally, and the field stays a string (not a slice)
+	// so Run remains comparable — the resume/robustness indexes and the
+	// determinism tests rely on Run values as map keys.
+	Tenants   string  `json:"tenants,omitempty"`
 	Scheme    string  `json:"scheme"`
 	Scale     float64 `json:"scale"`
 	L2TLB     int     `json:"l2tlb"`
@@ -180,6 +307,12 @@ func (r Run) Canonical() string {
 	fmt.Fprintf(&b, "run.Scale=%v\n", r.Scale)
 	fmt.Fprintf(&b, "run.ChaosSeed=%d\n", r.ChaosSeed)
 	fmt.Fprintf(&b, "run.ChaosRate=%v\n", r.ChaosRate)
+	// Written only for tenancy runs so every solo run's canonical form
+	// — and hence its cache digest — is unchanged from before the
+	// tenancy dimension existed.
+	if r.Tenants != "" {
+		fmt.Fprintf(&b, "run.Tenants=%s\n", r.Tenants)
+	}
 	return b.String()
 }
 
@@ -197,7 +330,11 @@ func (r Run) DigestHex() string { return fmt.Sprintf("%016x", r.Digest()) }
 
 // String identifies the run in progress lines.
 func (r Run) String() string {
-	s := fmt.Sprintf("%s/%s l2tlb=%d page=%s scale=%g", r.App, r.Scheme, r.L2TLB, r.PageSize, r.Scale)
+	app := r.App
+	if r.Tenants != "" {
+		app = "co-run " + r.Tenants
+	}
+	s := fmt.Sprintf("%s/%s l2tlb=%d page=%s scale=%g", app, r.Scheme, r.L2TLB, r.PageSize, r.Scale)
 	if r.ChaosSeed != 0 {
 		s += fmt.Sprintf(" chaos=%d@%g", r.ChaosSeed, r.ChaosRate)
 	}

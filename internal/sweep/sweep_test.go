@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,8 +40,69 @@ func TestNormalizeFillsDefaultsAndBaseline(t *testing.T) {
 	if len(n.Schemes) != 2 || n.Schemes[0] != "baseline" || n.Schemes[1] != "ic+lds" {
 		t.Fatalf("schemes = %v, want baseline first and deduplicated", n.Schemes)
 	}
-	if n.Scale != 1.0 || len(n.L2TLB) != 1 || len(n.PageSizes) != 1 || len(n.ChaosSeeds) != 1 {
+	if n.Scale != 1.0 || len(n.L2TLB) != 1 || len(n.PageSizes) != 1 {
 		t.Fatalf("defaults not filled: %+v", n)
+	}
+	if len(n.ChaosRates) != 1 || n.ChaosRates[0] != 0 || len(n.ChaosSeeds) != 0 {
+		t.Fatalf("chaos defaults: rates=%v seeds=%v, want the bare fault-free rate", n.ChaosRates, n.ChaosSeeds)
+	}
+}
+
+func TestNormalizeChaosLadderAndTenancy(t *testing.T) {
+	// The fault-free rate is always present (and first), duplicates
+	// collapse, and Trials expands to seeds 1..T when none are given.
+	n := Spec{ChaosRates: []float64{0.01, 0.01, 0.001}, Trials: 3}.Normalize()
+	if len(n.ChaosRates) != 3 || n.ChaosRates[0] != 0 || n.ChaosRates[1] != 0.01 || n.ChaosRates[2] != 0.001 {
+		t.Fatalf("rates = %v, want [0 0.01 0.001]", n.ChaosRates)
+	}
+	if len(n.ChaosSeeds) != 3 || n.ChaosSeeds[0] != 1 || n.ChaosSeeds[2] != 3 {
+		t.Fatalf("seeds = %v, want [1 2 3]", n.ChaosSeeds)
+	}
+	// Explicit seeds win over Trials.
+	n = Spec{ChaosRates: []float64{0.01}, ChaosSeeds: []uint64{7, 9}, Trials: 5}.Normalize()
+	if len(n.ChaosSeeds) != 2 || n.ChaosSeeds[0] != 7 {
+		t.Fatalf("explicit seeds overridden: %v", n.ChaosSeeds)
+	}
+	// A tenancy-only spec does not drag in all ten solo apps.
+	n = Spec{Tenancy: []string{"MVT+SRAD"}}.Normalize()
+	if len(n.Apps) != 0 {
+		t.Fatalf("tenancy-only spec defaulted apps: %v", n.Apps)
+	}
+	if got := len(n.units()); got != 1 {
+		t.Fatalf("tenancy-only spec has %d app-axis units, want 1", got)
+	}
+}
+
+func TestValidateChaosAndTenancyDimensions(t *testing.T) {
+	bad := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"NaN rate", Spec{ChaosRates: []float64{math.NaN()}}, "NaN"},
+		{"negative rate", Spec{ChaosRates: []float64{-0.5}}, "negative"},
+		{"super-unity rate", Spec{ChaosRates: []float64{1.5}}, "exceeds"},
+		{"reserved seed", Spec{ChaosRates: []float64{0.01}, ChaosSeeds: []uint64{0}}, "reserved"},
+		{"seeds without rate", Spec{ChaosSeeds: []uint64{1}}, "without a non-zero chaos rate"},
+		{"negative trials", Spec{Trials: -1}, "negative trials"},
+		{"unknown tenant", Spec{Tenancy: []string{"MVT+NOPE"}}, "NOPE"},
+		{"too many tenants", Spec{Tenancy: []string{"MVT+SRAD+GEV+SSSP+BICG"}}, "VM-ID limit"},
+		{"uneven partition", Spec{Tenancy: []string{"MVT+SRAD+GEV"}}, "partition"},
+		{"empty mix", Spec{Tenancy: []string{"+"}}, "empty tenancy mix"},
+	}
+	for _, c := range bad {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	good := Spec{Tenancy: []string{"MVT+SRAD"}, ChaosRates: []float64{0.01}, ChaosSeeds: []uint64{1, 2}}
+	if err := good.Normalize().Validate(); err != nil {
+		t.Fatalf("valid adversarial spec rejected: %v", err)
 	}
 }
 
@@ -207,7 +269,7 @@ func TestResumeSkipsCompletedRuns(t *testing.T) {
 	}
 
 	var executed atomic.Int64
-	countingRun := func(r Run) (core.Results, error) {
+	countingRun := func(r Run) (RunResult, error) {
 		executed.Add(1)
 		return ExecuteRun(r)
 	}
@@ -236,9 +298,9 @@ func TestResumeSkipsCompletedRuns(t *testing.T) {
 func TestRetryOnSimError(t *testing.T) {
 	spec := Spec{Apps: []string{"ATAX"}, Scale: 0.05}
 	var calls atomic.Int64
-	flaky := func(r Run) (core.Results, error) {
+	flaky := func(r Run) (RunResult, error) {
 		if calls.Add(1) < 3 {
-			return core.Results{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "injected"}
+			return RunResult{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "injected"}
 		}
 		return ExecuteRun(r)
 	}
@@ -260,9 +322,9 @@ func TestRetryOnSimError(t *testing.T) {
 	// Exhaustion: always-failing run becomes a terminal, uncached failure.
 	dir := t.TempDir()
 	calls.Store(0)
-	dead := func(r Run) (core.Results, error) {
+	dead := func(r Run) (RunResult, error) {
 		calls.Add(1)
-		return core.Results{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "always"}
+		return RunResult{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "always"}
 	}
 	c, err = Execute(spec, Options{Procs: 1, MaxAttempts: 2, Backoff: 1, OutDir: dir, RunFn: dead})
 	if err != nil {
@@ -276,9 +338,9 @@ func TestRetryOnSimError(t *testing.T) {
 	}
 	// Non-SimError failures are not retried.
 	calls.Store(0)
-	hardFail := func(r Run) (core.Results, error) {
+	hardFail := func(r Run) (RunResult, error) {
 		calls.Add(1)
-		return core.Results{}, errors.New("infrastructure broke")
+		return RunResult{}, errors.New("infrastructure broke")
 	}
 	c, _ = Execute(spec, Options{Procs: 1, MaxAttempts: 5, Backoff: 1, RunFn: hardFail})
 	if calls.Load() != 1 {
@@ -293,9 +355,9 @@ func TestRetryOnSimError(t *testing.T) {
 // Missing marker instead of poisoning the tables.
 func TestFailedRunsExcludedFromAggregate(t *testing.T) {
 	spec := Spec{Apps: []string{"ATAX"}, Schemes: []string{"lds"}, Scale: 0.05}
-	failLDS := func(r Run) (core.Results, error) {
+	failLDS := func(r Run) (RunResult, error) {
 		if r.Scheme == "lds" {
-			return core.Results{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "boom"}
+			return RunResult{}, &sim.SimError{Kind: sim.ErrWatchdog, Msg: "boom"}
 		}
 		return ExecuteRun(r)
 	}
@@ -393,7 +455,7 @@ func TestShuffledCompletionOrderMatchesSerial(t *testing.T) {
 		// Longest delay first: the first-dispatched jobs complete last.
 		delay[r.DigestHex()] = time.Duration(len(runs)-i) * 3 * time.Millisecond
 	}
-	delayed := func(r Run) (core.Results, error) {
+	delayed := func(r Run) (RunResult, error) {
 		time.Sleep(delay[r.DigestHex()])
 		return ExecuteRun(r)
 	}
