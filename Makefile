@@ -13,12 +13,17 @@
 #   make chaos-smoke  fast adversarial campaign: a two-tenant co-run under a
 #                     two-rate chaos ladder × two seed trials, asserting the
 #                     robustness scorecard is byte-identical at procs=1 vs 4
+#   make sample-smoke fast sampled campaign: a two-app × two-scheme matrix under
+#                     sampled execution, asserting estimates (CIs included) are
+#                     byte-identical at procs=1 vs 4 and survive a cache pass
+#   make coverage     statement-coverage gate: internal/sample and
+#                     internal/stats must each cover >= 85%
 
 GO ?= go
 
 .DEFAULT_GOAL := tier1
 
-.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke chaos-smoke
+.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke chaos-smoke sample-smoke coverage
 
 tier1:
 	$(GO) build ./...
@@ -72,3 +77,30 @@ chaos-smoke:
 	cmp .chaos-smoke/p1/robustness.csv .chaos-smoke/p4/robustness.csv
 	cmp .chaos-smoke/p1/aggregate.json .chaos-smoke/p4/aggregate.json
 	@echo "chaos-smoke: robustness scorecard byte-identical across independent campaigns (procs 1 vs 4)"
+
+sample-smoke:
+	rm -rf .sample-smoke
+	$(GO) run ./cmd/gpureach sweep -apps GUPS,SRAD -schemes lds,ic+lds \
+		-sample windows=6,frac=0.25,seed=1 -scale 0.05 \
+		-procs 1 -out .sample-smoke/p1 -bench '' -quiet -no-tables
+	$(GO) run ./cmd/gpureach sweep -apps GUPS,SRAD -schemes lds,ic+lds \
+		-sample windows=6,frac=0.25,seed=1 -scale 0.05 \
+		-procs 4 -out .sample-smoke/p4 -bench '' -quiet -no-tables
+	cmp .sample-smoke/p1/aggregate.json .sample-smoke/p4/aggregate.json
+	cmp .sample-smoke/p1/aggregate.csv .sample-smoke/p4/aggregate.csv
+	$(GO) run ./cmd/gpureach sweep -apps GUPS,SRAD -schemes lds,ic+lds \
+		-sample windows=6,frac=0.25,seed=1 -scale 0.05 \
+		-procs 4 -out .sample-smoke/p4 -bench '' -quiet -no-tables
+	cmp .sample-smoke/p1/aggregate.json .sample-smoke/p4/aggregate.json
+	grep -q '"sampled"' .sample-smoke/p1/journal.jsonl
+	@echo "sample-smoke: sampled estimates byte-identical across procs 1 vs 4 and across a cache pass"
+
+coverage:
+	$(GO) test -coverprofile=.coverage.out ./internal/sample/ ./internal/stats/
+	@for pkg in gpureach/internal/sample gpureach/internal/stats; do \
+		pct=$$($(GO) test -cover "./$${pkg#gpureach/}" | awk '{for(i=1;i<=NF;i++) if ($$i=="coverage:") print $$(i+1)}' | tr -d '%'); \
+		echo "$$pkg coverage: $$pct%"; \
+		ok=$$(awk -v p="$$pct" 'BEGIN{print (p+0 >= 85) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "$$pkg coverage $$pct% < 85%"; rm -f .coverage.out; exit 1; fi; \
+	done
+	@rm -f .coverage.out

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gpureach/internal/core"
+	"gpureach/internal/sample"
 	"gpureach/internal/workloads"
 )
 
@@ -29,6 +30,7 @@ type Entry struct {
 	App            string  `json:"app"`
 	Scheme         string  `json:"scheme"`
 	Scale          float64 `json:"scale"`
+	Sample         string  `json:"sample,omitempty"`
 	Runs           int     `json:"runs"`
 	WallMSPerRun   float64 `json:"wall_ms_per_run"`
 	EventsPerRun   uint64  `json:"events_per_run"`
@@ -44,6 +46,7 @@ func main() {
 	app := flag.String("app", "GUPS", "workload to measure")
 	scheme := flag.String("scheme", "ic+lds", "translation scheme to measure")
 	scale := flag.Float64("scale", 0.05, "footprint/instruction scale factor")
+	sampleSpec := flag.String("sample", "", "sampled-execution spec, e.g. windows=8,frac=0.05,seed=1 (empty: full detail)")
 	n := flag.Int("n", 3, "measured iterations (one unmeasured warm-up run precedes them)")
 	flag.Parse()
 
@@ -61,10 +64,21 @@ func main() {
 		*n = 1
 	}
 	cfg := core.DefaultConfig(s)
+	var sc sample.Config
+	if *sampleSpec != "" {
+		var err error
+		if sc, err = sample.ParseSpec(*sampleSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	oneRun := func() uint64 {
 		sys := core.NewSystem(cfg)
 		kernels := w.Build(sys.Space, *scale)
+		if sc.Enabled() {
+			sys.ArmSampling(sc, kernels)
+		}
 		if _, err := sys.Run(w.Name, kernels); err != nil {
 			fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 			os.Exit(1)
@@ -91,6 +105,7 @@ func main() {
 		App:          w.Name,
 		Scheme:       s.Name,
 		Scale:        *scale,
+		Sample:       sc.String(),
 		Runs:         *n,
 		WallMSPerRun: float64(wall.Nanoseconds()) / 1e6 / float64(*n),
 		EventsPerRun: events,
@@ -99,6 +114,9 @@ func main() {
 	}
 	if e.Label == "" {
 		e.Label = fmt.Sprintf("single run %s %s scale=%g", e.App, e.Scheme, e.Scale)
+		if e.Sample != "" {
+			e.Label += " sampled " + e.Sample
+		}
 	}
 	if events > 0 {
 		e.NSPerEvent = float64(wall.Nanoseconds()) / float64(*n) / float64(events)

@@ -28,6 +28,7 @@ import (
 	"gpureach/internal/check"
 	"gpureach/internal/cli"
 	"gpureach/internal/core"
+	"gpureach/internal/sample"
 	"gpureach/internal/sweep"
 	"gpureach/internal/workloads"
 )
@@ -50,6 +51,7 @@ func main() {
 	l2tlb := flag.Int("l2tlb", 512, "L2 TLB entries")
 	pageSize := flag.String("pagesize", "4K", "page size: "+strings.Join(core.PageSizeNames(), ", "))
 	chaosSpec := flag.String("chaos", "", "fault injection: seed=N,rate=R[,max=M] — deterministic shootdowns, migrations, LDS reclaims and walker stalls with live invariant checks")
+	sampleSpec := flag.String("sample", "", "sampled execution, e.g. windows=8,frac=0.05,seed=1 — cycles become an extrapolated mean ± 95% CI (empty: full detail)")
 	list := flag.Bool("list", false, "list workloads, schemes and page sizes, then exit")
 	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -62,6 +64,23 @@ func main() {
 	if *list {
 		printList()
 		return
+	}
+
+	var sampleCfg sample.Config
+	if *sampleSpec != "" {
+		var err error
+		if sampleCfg, err = sample.ParseSpec(*sampleSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *chaosSpec != "" {
+			fmt.Fprintln(os.Stderr, "-sample and -chaos are mutually exclusive: faults target timed machinery that fast-forward skips")
+			os.Exit(2)
+		}
+		if *tenants != "" {
+			fmt.Fprintln(os.Stderr, "-sample and -tenants are mutually exclusive: windows are scheduled over a single launch sequence")
+			os.Exit(2)
+		}
 	}
 
 	if *tenants != "" {
@@ -104,14 +123,30 @@ func main() {
 		injector.Arm()
 	}
 	kernels := w.Build(sys.Space, *scale)
+	var ctrl *sample.Controller
+	if sampleCfg.Enabled() {
+		ctrl = sys.ArmSampling(sampleCfg, kernels)
+	}
 	r, err := sys.Run(w.Name, kernels)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 		os.Exit(1)
 	}
+	var est *sample.Estimate
+	if ctrl != nil {
+		est = ctrl.Estimate()
+		core.ApplyEstimate(&r, est)
+	}
 	fmt.Printf("app            %s (%s, category %s)\n", w.Name, w.Suite, w.Category)
 	fmt.Printf("scheme         %s\n", r.Scheme)
-	fmt.Printf("cycles         %d\n", r.Cycles)
+	if est != nil {
+		fmt.Printf("cycles         %d ± %.0f (95%% CI, extrapolated from %d windows: %s)\n",
+			r.Cycles, est.Cycles.CI95, est.Cycles.N, sampleCfg)
+		fmt.Printf("sampled        measured %d of %d wave instrs; CPI %.3f ± %.3f, IPC %.3f ± %.3f\n",
+			est.MeasuredInstrs, est.TotalInstrs, est.CPI.Mean, est.CPI.CI95, est.IPC.Mean, est.IPC.CI95)
+	} else {
+		fmt.Printf("cycles         %d\n", r.Cycles)
+	}
 	fmt.Printf("kernels        %d\n", r.KernelsRun)
 	fmt.Printf("wave instrs    %d (thread instrs %d)\n", r.WaveInstrs, r.ThreadInstrs)
 	fmt.Printf("page walks     %d (PTW-PKI %.2f, L2-TLB misses %d)\n", r.PageWalks, r.PTWPKI, r.L2TLBMisses)

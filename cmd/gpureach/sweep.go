@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"gpureach/internal/cli"
+	"gpureach/internal/sample"
 	"gpureach/internal/sweep"
 )
 
@@ -26,6 +27,7 @@ func runSweep(args []string) {
 	chaosRates := fs.String("chaos-rates", "", "comma-separated chaos injection rates per cycle; the fault-free rate 0 is always included")
 	seeds := fs.String("chaos-seeds", "", "comma-separated non-zero chaos trial seeds (default: 1..trials)")
 	trials := fs.Int("trials", 0, "trials per non-zero chaos rate when -chaos-seeds is empty (default: 1)")
+	sampleSpec := fs.String("sample", "", "sampled execution for every run, e.g. windows=6,frac=0.25,seed=1 (empty: full detail; journals mean ± 95% CI)")
 	procs := fs.Int("procs", 0, "worker pool size (default: GOMAXPROCS)")
 	out := fs.String("out", "sweep-out", "campaign directory (cache/, journal.jsonl, aggregate.json/csv)")
 	resume := fs.Bool("resume", false, "resume a killed campaign from its journal")
@@ -67,6 +69,15 @@ func runSweep(args []string) {
 			fatalf("bad -chaos-seeds entry %q: %v", s, err)
 		}
 		spec.ChaosSeeds = append(spec.ChaosSeeds, v)
+	}
+	if *sampleSpec != "" {
+		sc, err := sample.ParseSpec(*sampleSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.SampleWindows = sc.Windows
+		spec.SampleDetailFrac = sc.DetailFrac
+		spec.SampleSeed = sc.Seed
 	}
 	if err := spec.Normalize().Validate(); err != nil {
 		fatalf("%v", err)

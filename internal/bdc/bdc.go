@@ -12,21 +12,32 @@
 // that: Add reports failure and leaves the group untouched.
 package bdc
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxSlots bounds a group's capacity. Fixed-size backing arrays keep a
+// group inline in its owning segment or cache line — one dependent
+// load instead of three — which matters because every victim-structure
+// probe scans one. The paper's geometries need at most 8 slots
+// (I-cache sub-ways) and 6 (64-byte LDS segments).
+const MaxSlots = 8
 
 // Group is a fixed-capacity set of values compressed against a common
-// base. The zero Group is unusable; use NewGroup.
+// base. The zero Group is unusable; use NewGroup. Group is a value
+// type: embed it directly (not behind a pointer) so probes stay local
+// to the owning structure's memory.
 type Group struct {
-	baseBits  uint
-	deltaBits uint
-	slots     int
+	baseBits  uint8
+	deltaBits uint8
+	slots     int8
+	live      uint8 // bitmask of occupied slots
 
 	base     uint64
-	hasBase  bool
-	values   []uint64
-	valid    []bool
-	liveCnt  int
+	values   [MaxSlots]uint64
 	rejected uint64
+	hasBase  bool
 }
 
 // NewGroup returns a compressor for `slots` values sharing one base of
@@ -34,24 +45,22 @@ type Group struct {
 //
 //	bdc.NewGroup(3, 16, 16)  // LDS: 3 tags, 16b base, 3×16b deltas
 //	bdc.NewGroup(8, 32, 8)   // I-cache: 8 tags, 32b base, 8×8b deltas
-func NewGroup(slots int, baseBits, deltaBits uint) *Group {
-	if slots <= 0 || baseBits == 0 || baseBits > 64 || deltaBits == 0 || deltaBits > 63 {
-		panic(fmt.Sprintf("bdc: invalid group geometry slots=%d base=%d delta=%d", slots, baseBits, deltaBits))
+func NewGroup(slots int, baseBits, deltaBits uint) Group {
+	if slots <= 0 || slots > MaxSlots || baseBits == 0 || baseBits > 64 || deltaBits == 0 || deltaBits > 63 {
+		panic(fmt.Sprintf("bdc: invalid group geometry slots=%d base=%d delta=%d (max %d slots)", slots, baseBits, deltaBits, MaxSlots))
 	}
-	return &Group{
-		baseBits:  baseBits,
-		deltaBits: deltaBits,
-		slots:     slots,
-		values:    make([]uint64, slots),
-		valid:     make([]bool, slots),
+	return Group{
+		baseBits:  uint8(baseBits),
+		deltaBits: uint8(deltaBits),
+		slots:     int8(slots),
 	}
 }
 
 // Slots returns the group capacity.
-func (g *Group) Slots() int { return g.slots }
+func (g *Group) Slots() int { return int(g.slots) }
 
 // Live returns how many slots currently hold values.
-func (g *Group) Live() int { return g.liveCnt }
+func (g *Group) Live() int { return bits.OnesCount8(g.live) }
 
 // Rejected returns how many Add calls failed because the delta did not
 // fit — the hardware cost of compression the experiments account for.
@@ -60,7 +69,7 @@ func (g *Group) Rejected() uint64 { return g.rejected }
 // StorageBits returns the compressed footprint: base + slots×delta bits.
 // For the paper's geometries this is 64 bits (LDS) and 96 bits (I-cache).
 func (g *Group) StorageBits() uint {
-	return g.baseBits + uint(g.slots)*g.deltaBits
+	return uint(g.baseBits) + uint(g.slots)*uint(g.deltaBits)
 }
 
 // fits reports whether v can be represented against base: the high bits
@@ -85,7 +94,8 @@ func (g *Group) baseRepresentable(v uint64) bool {
 // failure nothing changes and the rejection counter increments.
 func (g *Group) Add(i int, v uint64) bool {
 	g.checkSlot(i)
-	if !g.hasBase || g.liveCnt == 0 || (g.liveCnt == 1 && g.valid[i]) {
+	bit := uint8(1) << i
+	if !g.hasBase || g.live == 0 || g.live == bit {
 		// Empty group (or overwriting the only member): rebase freely.
 		if !g.baseRepresentable(v) {
 			g.rejected++
@@ -93,22 +103,16 @@ func (g *Group) Add(i int, v uint64) bool {
 		}
 		g.base = v
 		g.hasBase = true
-		if !g.valid[i] {
-			g.liveCnt++
-		}
 		g.values[i] = v
-		g.valid[i] = true
+		g.live |= bit
 		return true
 	}
 	if !g.fits(g.base, v) {
 		g.rejected++
 		return false
 	}
-	if !g.valid[i] {
-		g.liveCnt++
-	}
 	g.values[i] = v
-	g.valid[i] = true
+	g.live |= bit
 	return true
 }
 
@@ -118,7 +122,7 @@ func (g *Group) Add(i int, v uint64) bool {
 // property tests).
 func (g *Group) Get(i int) (uint64, bool) {
 	g.checkSlot(i)
-	if !g.valid[i] {
+	if g.live&(1<<i) == 0 {
 		return 0, false
 	}
 	// Reconstruct through the compressed form to keep the model honest.
@@ -129,29 +133,26 @@ func (g *Group) Get(i int) (uint64, bool) {
 // Invalidate clears slot i and reports whether it was live.
 func (g *Group) Invalidate(i int) bool {
 	g.checkSlot(i)
-	if !g.valid[i] {
+	bit := uint8(1) << i
+	if g.live&bit == 0 {
 		return false
 	}
-	g.valid[i] = false
-	g.liveCnt--
+	g.live &^= bit
 	return true
 }
 
 // Clear empties the whole group (segment reclaimed by the application,
 // or I-cache line flipped back to instruction mode).
 func (g *Group) Clear() {
-	for i := range g.valid {
-		g.valid[i] = false
-	}
-	g.liveCnt = 0
+	g.live = 0
 	g.hasBase = false
 }
 
 // Find returns the slot holding value v, or -1. This is the parallel tag
 // comparison the hardware performs after decompressing the tag group.
 func (g *Group) Find(v uint64) int {
-	for i := range g.values {
-		if g.valid[i] && g.values[i] == v {
+	for i := 0; i < int(g.slots); i++ {
+		if g.live&(1<<i) != 0 && g.values[i] == v {
 			return i
 		}
 	}
@@ -159,7 +160,7 @@ func (g *Group) Find(v uint64) int {
 }
 
 func (g *Group) checkSlot(i int) {
-	if i < 0 || i >= g.slots {
+	if i < 0 || i >= int(g.slots) {
 		//gpureach:allow simerr -- an out-of-range slot index is a caller bug, not a run-time fault; crashing beats silently corrupting a compressed entry
 		panic(fmt.Sprintf("bdc: slot %d out of range [0,%d)", i, g.slots))
 	}

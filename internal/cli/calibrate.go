@@ -1,0 +1,90 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gpureach/internal/core"
+	"gpureach/internal/sample"
+)
+
+// defaultCalibrationPairs is the stock cross-validation matrix: two
+// cells per translation scheme, spanning the regular (GUPS, PRK), the
+// graph-irregular (BFS, SSSP), and the compute-bound (NW) ends of the
+// workload set. The ATAX family is deliberately absent — those apps
+// retire too few wave instructions at calibration scales for interval
+// sampling to place distinct windows (see TestSampledMatchesFullDetail).
+var defaultCalibrationPairs = []sample.Pair{
+	{App: "GUPS", Scheme: "ic+lds"},
+	{App: "GUPS", Scheme: "lds"},
+	{App: "BFS", Scheme: "ic-aware"},
+	{App: "SSSP", Scheme: "ic+lds"},
+	{App: "PRK", Scheme: "lds"},
+	{App: "NW", Scheme: "ic-aware"},
+}
+
+// RunCalibrateSampling runs `gpureach exp calibrate-sampling`: the
+// statistical cross-validation harness for sampled execution. Every
+// cell of an app × scheme matrix is simulated both in full detail and
+// sampled, and the resulting error table proves (or refutes) that
+// sampled speedups track full-detail speedups within the error budget
+// and that the 95% confidence intervals cover the truth.
+//
+// Exit code 0 means the table passed; 1 means at least one cell
+// violated the budget or escaped its interval (the offending cells are
+// listed on stderr); 2 is a usage error.
+func RunCalibrateSampling(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("exp calibrate-sampling", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	apps := fs.String("apps", "", "comma-separated workloads (default: the stock six-cell matrix)")
+	schemes := fs.String("schemes", "", "comma-separated schemes crossed with -apps (default: the stock matrix)")
+	scale := fs.Float64("scale", 0.05, "footprint/instruction scale factor for every cell")
+	spec := fs.String("sample", "windows=6,frac=0.25,seed=1", "sampling config under calibration")
+	maxErr := fs.Float64("max-err", 0.05, "maximum tolerated relative speedup error per cell")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc, err := sample.ParseSpec(*spec)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	sc = sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	pairs := defaultCalibrationPairs
+	if *apps != "" || *schemes != "" {
+		if *apps == "" || *schemes == "" {
+			fmt.Fprintln(stderr, "-apps and -schemes must be given together (their cross product is the matrix)")
+			return 2
+		}
+		pairs = nil
+		for _, a := range strings.Split(*apps, ",") {
+			for _, s := range strings.Split(*schemes, ",") {
+				pairs = append(pairs, sample.Pair{App: strings.TrimSpace(a), Scheme: strings.TrimSpace(s)})
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, err := sample.Validate(pairs, core.CalibrationRunner(*scale, sc))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprint(stdout, rep.Table())
+	fmt.Fprintf(stderr, "[calibrate-sampling: %d cells at scale %g, %s, in %s]\n",
+		len(rep.Rows), *scale, sc, time.Since(start).Round(time.Millisecond))
+	if err := rep.Check(*maxErr); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"gpureach/internal/core"
+	"gpureach/internal/sample"
 )
 
 // RunExp runs the experiment subcommand (`gpureach exp ...`): it
@@ -30,12 +31,17 @@ import (
 //	gpureach exp -exp F13b                 # the headline Figure 13b
 //	gpureach exp -exp T2 -apps ATAX,SRAD   # restrict the app set
 //	gpureach exp -exp all -scale 0.25      # everything, fast and small
+//	gpureach exp calibrate-sampling        # sampled-vs-full cross-validation
 func RunExp(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "calibrate-sampling" {
+		return RunCalibrateSampling(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "", "experiment ID (see -list), or 'all'")
 	scale := fs.Float64("scale", 1.0, "footprint/instruction scale factor")
 	apps := fs.String("apps", "", "comma-separated workload subset (default: all ten)")
+	sampleSpec := fs.String("sample", "", "sampled execution for every run, e.g. windows=6,frac=0.25,seed=1 (empty: full detail)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	prof := AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +67,14 @@ func RunExp(args []string, stdout, stderr io.Writer) int {
 	opts := core.ExpOptions{Scale: *scale}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
+	}
+	if *sampleSpec != "" {
+		sc, err := sample.ParseSpec(*sampleSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		opts.Sampling = sc
 	}
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"gpureach/internal/metrics"
+	"gpureach/internal/sample"
 	"gpureach/internal/sim"
 	"gpureach/internal/vm"
 	"gpureach/internal/workloads"
@@ -18,6 +19,10 @@ type ExpOptions struct {
 	Scale float64
 	// Apps restricts the run to the named applications (nil = all ten).
 	Apps []string
+	// Sampling, when enabled, runs every simulation in sampled mode
+	// (detailed windows + fast-forward warming) instead of full detail.
+	// Cycle-derived numbers become extrapolated estimates.
+	Sampling sample.Config
 }
 
 // ResolveApps maps application names to workloads. Unknown names do
@@ -53,8 +58,10 @@ func ResolveApps(names []string) ([]workloads.Workload, error) {
 // can reject bad app names with a clean error instead of crashing
 // mid-campaign.
 func (o ExpOptions) Validate() error {
-	_, err := ResolveApps(o.Apps)
-	return err
+	if _, err := ResolveApps(o.Apps); err != nil {
+		return err
+	}
+	return o.Sampling.Normalize().Validate()
 }
 
 // workloads resolves o.Apps for the experiment bodies. Callers are
@@ -74,11 +81,14 @@ func (o ExpOptions) scale() float64 {
 }
 
 // runKey identifies one deterministic simulation: the full comparable
-// configuration, the application, and the scale.
+// configuration, the application, the scale, and the (normalized)
+// sampling config — a sampled run and a full-detail run of the same
+// experiment must never share a cache slot.
 type runKey struct {
-	cfg   Config
-	app   string
-	scale float64
+	cfg      Config
+	app      string
+	scale    float64
+	sampling sample.Config
 }
 
 // runCache memoizes experiment runs. Simulations are bit-for-bit
@@ -88,14 +98,20 @@ type runKey struct {
 // instead of re-simulating. Cleared with ResetRunCache.
 var runCache = map[runKey]Results{}
 
-// runShared is Run with memoization; experiments use it, tests that
-// need fresh systems use Run directly.
-func runShared(cfg Config, w workloads.Workload, scale float64) Results {
-	key := runKey{cfg: cfg, app: w.Name, scale: scale}
+// run is Run with memoization, honouring the options' sampling mode;
+// experiments use it, tests that need fresh systems use Run directly.
+func (o ExpOptions) run(cfg Config, w workloads.Workload) Results {
+	sc := o.Sampling.Normalize()
+	key := runKey{cfg: cfg, app: w.Name, scale: o.scale(), sampling: sc}
 	if r, ok := runCache[key]; ok {
 		return r
 	}
-	r := MustRun(cfg, w, scale)
+	var r Results
+	if sc.Enabled() {
+		r, _ = MustRunSampled(cfg, w, o.scale(), sc)
+	} else {
+		r = MustRun(cfg, w, o.scale())
+	}
 	runCache[key] = r
 	return r
 }
@@ -198,7 +214,7 @@ func ExpTable2(o ExpOptions) []*metrics.Table {
 	t := metrics.NewTable("Table 2 — benchmark characterization (measured vs paper)",
 		"app", "kernels", "b2b", "L1-HR", "L2-HR", "PTW-PKI", "cat", "paper-PKI", "paper-cat")
 	for _, w := range o.workloads() {
-		r := runShared(DefaultConfig(Baseline()), w, o.scale())
+		r := o.run(DefaultConfig(Baseline()), w)
 		b2b := "No"
 		if w.B2B {
 			b2b = "Yes"
@@ -239,14 +255,14 @@ func ExpFig2Fig3(o ExpOptions) []*metrics.Table {
 
 	var perAppSpeedups [][]float64
 	for _, w := range o.workloads() {
-		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		base := o.run(DefaultConfig(Baseline()), w)
 		walkRow := []string{w.Name}
 		perfRow := []string{w.Name}
 		var speeds []float64
 		for _, entries := range l2SweepEntries[1:] {
 			cfg := DefaultConfig(Baseline())
 			cfg.L2TLBEntries = entries
-			r := runShared(cfg, w, o.scale())
+			r := o.run(cfg, w)
 			walkRow = append(walkRow, metrics.F(r.NormalizedWalks(base)))
 			s := r.Speedup(base)
 			perfRow = append(perfRow, metrics.F(s))
@@ -259,7 +275,7 @@ func ExpFig2Fig3(o ExpOptions) []*metrics.Table {
 		// performance column's top.
 		cfg := DefaultConfig(Baseline())
 		cfg.PerfectL2TLB = true
-		r := runShared(cfg, w, o.scale())
+		r := o.run(cfg, w)
 		walkRow = append(walkRow, metrics.F(r.NormalizedWalks(base)))
 		walks.AddRow(walkRow...)
 		perf.AddRow(perfRow...)
@@ -288,7 +304,7 @@ func ExpFig4(o ExpOptions) []*metrics.Table {
 	idle := metrics.NewTable("Figure 4b — idle cycles between LDS port accesses",
 		"app", "S.P", "Q1", "median", "Q3", "L.P", "accesses")
 	for _, w := range o.workloads() {
-		r := runShared(DefaultConfig(LDSOnly()), w, o.scale())
+		r := o.run(DefaultConfig(LDSOnly()), w)
 		s := r.LDSReqBytes
 		req.AddRow(w.Name, metrics.I(s.Min), metrics.I(s.Q1), metrics.I(s.Median),
 			metrics.I(s.Q3), metrics.I(s.Max), fmt.Sprint(w.UsesLDS))
@@ -308,7 +324,7 @@ func ExpFig5(o ExpOptions) []*metrics.Table {
 	idle := metrics.NewTable("Figure 5b — idle cycles between I-cache port accesses",
 		"app", "S.P", "Q1", "median", "Q3", "L.P")
 	for _, w := range o.workloads() {
-		r := runShared(DefaultConfig(Baseline()), w, o.scale())
+		r := o.run(DefaultConfig(Baseline()), w)
 		lo, hi := 1.0, 0.0
 		for _, u := range r.ICUtilSamples {
 			if u < lo {
@@ -337,7 +353,7 @@ func ExpFig11(o ExpOptions) []*metrics.Table {
 	t := metrics.NewTable("Figure 11 — per-kernel I-cache utilization over time (first samples)",
 		"app", "samples...")
 	for _, w := range o.workloads() {
-		r := runShared(DefaultConfig(Baseline()), w, o.scale())
+		r := o.run(DefaultConfig(Baseline()), w)
 		if r.KernelsRun <= 1 {
 			continue // GEV and SRAD have one kernel (paper omits them too)
 		}
@@ -368,14 +384,14 @@ func schemeSpeedups(o ExpOptions, title string, schemes []Scheme, mutate func(*C
 		if mutate != nil {
 			mutate(&baseCfg)
 		}
-		base := runShared(baseCfg, w, o.scale())
+		base := o.run(baseCfg, w)
 		row := []string{w.Name}
 		for _, s := range schemes {
 			cfg := DefaultConfig(s)
 			if mutate != nil {
 				mutate(&cfg)
 			}
-			r := runShared(cfg, w, o.scale())
+			r := o.run(cfg, w)
 			sp := r.Speedup(base)
 			row = append(row, metrics.F(sp))
 			vectors[s.Name] = append(vectors[s.Name], sp)
@@ -433,10 +449,10 @@ func ExpFig13c(o ExpOptions) []*metrics.Table {
 	t := metrics.NewTable("Figure 13c — normalized DRAM energy", headers...)
 	vectors := make(map[string][]float64)
 	for _, w := range o.workloads() {
-		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		base := o.run(DefaultConfig(Baseline()), w)
 		row := []string{w.Name}
 		for _, s := range schemes {
-			r := runShared(DefaultConfig(s), w, o.scale())
+			r := o.run(DefaultConfig(s), w)
 			e := r.NormalizedEnergy(base)
 			row = append(row, metrics.F(e))
 			vectors[s.Name] = append(vectors[s.Name], e)
@@ -457,7 +473,7 @@ func ExpFig13c(o ExpOptions) []*metrics.Table {
 func ExpFig14a(o ExpOptions) []*metrics.Table {
 	t := metrics.NewTable("Figure 14a — translations shared across CUs", "app", "shared")
 	for _, w := range o.workloads() {
-		r := runShared(DefaultConfig(Combined()), w, o.scale())
+		r := o.run(DefaultConfig(Combined()), w)
 		t.AddRow(w.Name, metrics.Pct(r.SharedTxFraction))
 	}
 	t.AddNote("paper: significant sharing for all but GEV, NW and SRAD — duplication limits the cumulative reach of per-CU LDS storage")
@@ -474,10 +490,10 @@ func ExpFig14b(o ExpOptions) []*metrics.Table {
 	t := metrics.NewTable("Figure 14b — page walks normalized to baseline", headers...)
 	vectors := make(map[string][]float64)
 	for _, w := range o.workloads() {
-		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		base := o.run(DefaultConfig(Baseline()), w)
 		row := []string{w.Name}
 		for _, s := range schemes {
-			r := runShared(DefaultConfig(s), w, o.scale())
+			r := o.run(DefaultConfig(s), w)
 			n := r.NormalizedWalks(base)
 			row = append(row, metrics.F(n))
 			if base.PageWalks > 0 {
@@ -506,10 +522,10 @@ func ExpFig14c(o ExpOptions) []*metrics.Table {
 		for i, ps := range sizes {
 			baseCfg := DefaultConfig(Baseline())
 			baseCfg.PageSize = ps
-			base := runShared(baseCfg, w, o.scale())
+			base := o.run(baseCfg, w)
 			cfg := DefaultConfig(Combined())
 			cfg.PageSize = ps
-			r := runShared(cfg, w, o.scale())
+			r := o.run(cfg, w)
 			s := r.Speedup(base)
 			row = append(row, metrics.F(s))
 			vectors[i] = append(vectors[i], s)
@@ -534,7 +550,7 @@ func ExpFig15(o ExpOptions) []*metrics.Table {
 	icMax := (cfg.GPU.NumCUs / cfg.ICSharers) * (cfg.ICache.SizeBytes / cfg.ICache.LineBytes) * 8
 	max := ldsMax + icMax
 	for _, w := range o.workloads() {
-		r := runShared(DefaultConfig(Combined()), w, o.scale())
+		r := o.run(DefaultConfig(Combined()), w)
 		t.AddRow(w.Name, fmt.Sprint(r.PeakTxResident), fmt.Sprint(max))
 	}
 	t.AddNote("structural bound: %d from LDS (%d/CU × %d CUs) + %d from I-caches — the paper's \"maximum of 16K entries (12K LDS + 4K I-cache)\"",
@@ -563,10 +579,10 @@ func ExpFig16a(o ExpOptions) []*metrics.Table {
 			}
 			baseCfg := DefaultConfig(Baseline())
 			mutate(&baseCfg)
-			base := runShared(baseCfg, w, o.scale())
+			base := o.run(baseCfg, w)
 			cfg := DefaultConfig(Combined())
 			mutate(&cfg)
-			r := runShared(cfg, w, o.scale())
+			r := o.run(cfg, w)
 			s := r.Speedup(base)
 			row = append(row, metrics.F(s))
 			vectors[i] = append(vectors[i], s)
@@ -591,7 +607,7 @@ func ExpFig16b(o ExpOptions) []*metrics.Table {
 	apps := o.workloads()
 	baselines := make([]Results, len(apps))
 	for i, w := range apps {
-		baselines[i] = runShared(DefaultConfig(Baseline()), w, o.scale())
+		baselines[i] = o.run(DefaultConfig(Baseline()), w)
 	}
 	rows := []struct {
 		name     string
@@ -609,7 +625,7 @@ func ExpFig16b(o ExpOptions) []*metrics.Table {
 				if rw.ldw {
 					cfg.WireLatencyLDS = lat
 				}
-				speeds = append(speeds, runShared(cfg, w, o.scale()).Speedup(baselines[i]))
+				speeds = append(speeds, o.run(cfg, w).Speedup(baselines[i]))
 			}
 			row = append(row, metrics.F(metrics.Geomean(speeds)))
 		}
@@ -635,12 +651,12 @@ func ExpLDSSegmentSize(o ExpOptions) []*metrics.Table {
 		"app", "32B-seg", "64B-seg")
 	var v32, v64 []float64
 	for _, w := range o.workloads() {
-		base := runShared(DefaultConfig(Baseline()), w, o.scale())
+		base := o.run(DefaultConfig(Baseline()), w)
 		c32 := DefaultConfig(Combined())
-		r32 := runShared(c32, w, o.scale())
+		r32 := o.run(c32, w)
 		c64 := DefaultConfig(Combined())
 		c64.LDS.SegmentBytes = 64
-		r64 := runShared(c64, w, o.scale())
+		r64 := o.run(c64, w)
 		s32, s64 := r32.Speedup(base), r64.Speedup(base)
 		t.AddRow(w.Name, metrics.F(s32), metrics.F(s64))
 		v32 = append(v32, s32)

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"gpureach/internal/sample"
+	"gpureach/internal/workloads"
+)
+
+// validationConfig is the sampling configuration the cross-validation
+// matrix runs at: six windows with a quarter of each detailed keeps
+// windows long enough for the short test-scale runs to reach steady
+// state inside every window, and makes the warming run-in cover the
+// whole inter-window gap (nothing skipped — the f=0.05 skip path gets
+// its own coverage in TestSampledSkipPathAccuracy).
+var validationConfig = sample.Config{Windows: 6, DetailFrac: 0.25, Seed: 1}
+
+// validationPairs is the app × scheme matrix TestSampledMatchesFullDetail
+// checks. The apps span the paper's categories (GUPS thrash, graph
+// irregular, dense streaming); the very short ATAX-family kernels are
+// deliberately absent — at scale 0.05 they retire too few instructions
+// for interval sampling to be meaningful.
+var validationPairs = []sample.Pair{
+	{App: "GUPS", Scheme: "ic+lds"},
+	{App: "GUPS", Scheme: "lds"},
+	{App: "BFS", Scheme: "ic-aware"},
+	{App: "SSSP", Scheme: "ic+lds"},
+	{App: "PRK", Scheme: "lds"},
+	{App: "NW", Scheme: "ic-aware"},
+}
+
+// TestSampledMatchesFullDetail is the statistical cross-validation
+// gate: over the app × scheme matrix, the sampled speedup estimate
+// must land within 5% of the full-detail speedup and the sampled 95%
+// confidence interval must cover the full-detail truth.
+func TestSampledMatchesFullDetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation matrix runs full-detail references; skipped under -short")
+	}
+	rep, err := sample.Validate(validationPairs, CalibrationRunner(0.05, validationConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Table())
+	if err := rep.Check(0.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSampledSkipPathAccuracy covers the skip phase: at a 5% detail
+// fraction the warming run-in is far shorter than the inter-window
+// gap, so most fast-forward instructions skip structure warming
+// entirely. The property that must survive is the one the harness
+// sells — relative speedups. Absolute per-window CPI carries a
+// schedule-correlated transient bias at small scales (wide CIs
+// absorb it); the speedup ratio between two schemes sampled on the
+// same schedule cancels it, and that ratio must stay within 5% of
+// full detail even when the gaps are mostly skipped.
+func TestSampledSkipPathAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full-detail references; skipped under -short")
+	}
+	w, _ := workloads.ByName("GUPS")
+	const scale = 0.05
+	sc := sample.Config{Windows: 8, DetailFrac: 0.05, Seed: 1}
+	fullBase := MustRun(DefaultConfig(Baseline()), w, scale)
+	fullScheme := MustRun(DefaultConfig(Combined()), w, scale)
+	_, sampBase := MustRunSampled(DefaultConfig(Baseline()), w, scale, sc)
+	_, sampScheme := MustRunSampled(DefaultConfig(Combined()), w, scale, sc)
+	if sampBase.MeasuredInstrs*4 > sampBase.TotalInstrs {
+		t.Fatalf("measured %d of %d instrs — config no longer exercises the skip path",
+			sampBase.MeasuredInstrs, sampBase.TotalInstrs)
+	}
+	fullSp := float64(fullBase.Cycles) / float64(fullScheme.Cycles)
+	sampSp := sampBase.Cycles.Mean / sampScheme.Cycles.Mean
+	relErr := math.Abs(sampSp-fullSp) / fullSp
+	t.Logf("speedup full=%.4f sampled=%.4f relErr=%.2f%%", fullSp, sampSp, 100*relErr)
+	if relErr > 0.05 {
+		t.Fatalf("sampled speedup %.4f vs full %.4f: rel err %.1f%% > 5%%", sampSp, fullSp, 100*relErr)
+	}
+}
+
+// TestSampledDeterminism pins the reproducibility contract: the same
+// (seed, windows, detail-frac) produces byte-identical estimates and
+// window digests on every run, and a different seed produces a
+// different window schedule.
+func TestSampledDeterminism(t *testing.T) {
+	w, _ := workloads.ByName("GUPS")
+	sc := sample.Config{Windows: 6, DetailFrac: 0.25, Seed: 1}
+	run := func(seed uint64) (Results, *sample.Estimate) {
+		c := sc
+		c.Seed = seed
+		return MustRunSampled(DefaultConfig(Combined()), w, 0.05, c)
+	}
+	r1, e1 := run(1)
+	r2, e2 := run(1)
+	if e1.Digest != e2.Digest {
+		t.Fatalf("window digests diverged: %s vs %s", e1.Digest, e2.Digest)
+	}
+	if e1.ScheduleDigest != e2.ScheduleDigest {
+		t.Fatalf("schedule digests diverged: %s vs %s", e1.ScheduleDigest, e2.ScheduleDigest)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("results diverged:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if e1.Cycles != e2.Cycles {
+		t.Fatalf("cycle estimates diverged: %+v vs %+v", e1.Cycles, e2.Cycles)
+	}
+
+	_, e3 := run(2)
+	if e3.ScheduleDigest == e1.ScheduleDigest {
+		t.Fatal("different seeds produced the same window schedule")
+	}
+	if e3.Digest == e1.Digest {
+		t.Fatal("different seeds produced identical window measurements")
+	}
+}

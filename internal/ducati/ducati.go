@@ -156,6 +156,32 @@ func (s *Store) Fill(e tlb.Entry) {
 	s.mem.Access(s.slotAddr(i), true, func() {})
 }
 
+// WarmFill is the functional-warming form of Fill used by sampled
+// execution's fast-forward mode: the same slot overwrite and
+// Fills/Conflicts accounting, but no LLC write — fast-forward skips
+// all memory traffic.
+func (s *Store) WarmFill(e tlb.Entry) {
+	key := e.Key()
+	i := s.index(key)
+	if s.slots[i].valid && s.slots[i].key != key {
+		s.stats.Conflicts++
+	}
+	s.slots[i] = slot{key: key, entry: e, valid: true}
+	s.stats.Fills++
+}
+
+// WarmLookup is the functional-warming form of Lookup: the slot check
+// and Lookups/Hits accounting of the real probe without the LLC read.
+func (s *Store) WarmLookup(key tlb.Key) (tlb.Entry, bool) {
+	s.stats.Lookups++
+	sl := s.slots[s.index(key)]
+	if sl.valid && sl.key == key {
+		s.stats.Hits++
+		return sl.entry, true
+	}
+	return tlb.Entry{}, false
+}
+
 // Probe reports whether key is resident, without the memory access a
 // real Lookup costs and without touching the counters. Invariant probes
 // (internal/check) use it: a shootdown must leave no trace here either.

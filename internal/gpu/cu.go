@@ -104,6 +104,8 @@ type CU struct {
 	// synchronous memAccessEvent invocation: translations never
 	// complete before the issuing loop returns.
 	gscratch []*pageGroup
+	// warmVPNs is the fast-forward page-dedup scratch (warmMemAccess).
+	warmVPNs []vm.VPN
 
 	stats CUStats
 }
@@ -357,6 +359,36 @@ func (cu *CU) memAccessEvent(space *vm.AddrSpace, addrs []vm.VA, write bool, h s
 		cu.Xlat.TranslateEvent(space, g.vpn, memTranslated, g)
 	}
 	cu.gscratch = groups[:0]
+}
+
+// warmMemAccess is the fast-forward form of memAccessEvent: lane
+// addresses dedupe to unique pages (exactly as the coalescer would)
+// and each unique page takes one warm translation through the full
+// L1-TLB → victim-path → IOMMU chain. The data-cache hierarchy is
+// deliberately not touched — fast-forward skips all data traffic (see
+// DESIGN.md on the warming contract).
+func (cu *CU) warmMemAccess(space *vm.AddrSpace, addrs []vm.VA) {
+	if len(addrs) == 0 {
+		return
+	}
+	pageBits := space.PageSize().Bits()
+	seen := cu.warmVPNs[:0]
+	for _, va := range addrs {
+		vpn := vm.VPN(uint64(va) >> pageBits)
+		dup := false
+		for _, v := range seen {
+			if v == vpn {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, vpn)
+		cu.Xlat.WarmTranslate(space, vpn)
+	}
+	cu.warmVPNs = seen[:0]
 }
 
 // memTranslated fans one page's coalesced lines into the L1 data cache

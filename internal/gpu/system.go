@@ -8,6 +8,35 @@ import (
 	"gpureach/internal/vm"
 )
 
+// Sampler gates sampled execution. When a System carries one, every
+// wave consults Detailed() before stepping: true means run the normal
+// detailed timing path; false means fast-forward — execute the
+// instruction functionally without any timed events. Warming() splits
+// fast-forward further: true means perform full content-level state
+// transitions (warm TLBs, victim structures, the I-cache and the
+// instruction buffer); false means skip — only the stream position
+// and instruction-mix counters advance. Executed() is called exactly
+// once per retired wave instruction, in every mode, so the controller
+// can track its position in the global wave-instruction stream and
+// flip windows on exact boundaries.
+type Sampler interface {
+	Detailed() bool
+	Warming() bool
+	Executed()
+}
+
+// TotalWaveInstrs returns the dynamic wave-instruction count of a
+// kernel launch sequence — the axis a sampling controller schedules
+// its measurement windows over. Every wave executes exactly
+// InstrPerWave instructions, so the total is a closed form.
+func TotalWaveInstrs(kernels []*Kernel) uint64 {
+	var total uint64
+	for _, k := range kernels {
+		total += uint64(k.NumWorkgroups) * uint64(k.WavesPerWG) * uint64(k.InstrPerWave)
+	}
+	return total
+}
+
 // System owns the CUs and runs kernels to completion: the front-end
 // work-group scheduler dispatches work-groups onto CUs with enough free
 // wave slots and a successful contiguous LDS reservation (§2.2).
@@ -29,6 +58,10 @@ type System struct {
 	// value runs unguarded; core.NewSystem installs a livelock watchdog.
 	Guard sim.GuardConfig
 
+	// Sampler, when non-nil, switches waves between detailed timing and
+	// fast-forward functional warming. Nil means full detail.
+	Sampler Sampler
+
 	// LDSRequestBytes samples the per-work-group LDS reservation at
 	// each dispatch (Figure 4a).
 	LDSRequestBytes *sim.Gaps
@@ -44,6 +77,13 @@ type System struct {
 
 	// KernelsRun counts completed kernel launches across all contexts.
 	KernelsRun int
+
+	// LaunchIdle accumulates the host-side kernel-launch latency cycles
+	// spent so far. For a solo context no instruction retires inside a
+	// launch gap, so a sampling controller can subtract the gap time
+	// from its measured windows (CPI then reflects execution only) and
+	// add the exact total back to the extrapolated estimate.
+	LaunchIdle uint64
 }
 
 // NewSystem wires CUs into a system. The CUs gain their back-pointer.
@@ -164,6 +204,7 @@ func (s *System) launchNext(ctx *Context) {
 			k.Name, k.WavesPerWG, s.Cfg.WaveSlotsPerCU()))
 	}
 	s.Eng.After(s.Cfg.KernelLaunchLatency, func() {
+		s.LaunchIdle += uint64(s.Cfg.KernelLaunchLatency)
 		if s.OnKernelBoundary != nil {
 			s.OnKernelBoundary(k)
 		}

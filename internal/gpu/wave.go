@@ -75,6 +75,10 @@ func (w *wave) step() {
 		w.cu.sys.waveDone(w)
 		return
 	}
+	if sp := w.cu.sys.Sampler; sp != nil && !sp.Detailed() {
+		w.ffRun()
+		return
+	}
 	pc := w.pc()
 	lineTag := uint64(pc) / uint64(w.cu.cfg.LineBytes)
 	if w.ibHas(lineTag) {
@@ -114,6 +118,11 @@ func (w *wave) execute() {
 	cu := w.cu
 	cu.stats.WaveInstrs++
 	cu.stats.ThreadInstrs += uint64(cu.cfg.Lanes)
+	if sp := cu.sys.Sampler; sp != nil {
+		// Detailed instructions advance the sampler's stream position
+		// too — window boundaries land on exact instruction counts.
+		sp.Executed()
+	}
 
 	isMem := w.k.MemEvery > 0 && w.i%w.k.MemEvery == w.k.MemEvery-1
 	isLDS := !isMem && w.k.LDSEvery > 0 && w.i%w.k.LDSEvery == w.k.LDSEvery-1
@@ -143,4 +152,98 @@ func (w *wave) execute() {
 func (w *wave) advance() {
 	w.i++
 	w.step()
+}
+
+// waveFFStep resumes a fast-forwarding wave (handler form).
+func waveFFStep(x any) { x.(*wave).ffRun() }
+
+// ffRun is the fast-forward execution loop: full functional state
+// transitions (instruction buffer, I-cache, TLBs, victim structures,
+// all stats counters) with no timed events. Each retired instruction
+// reports to the sampler; when the sampler flips back to a detailed
+// window the wave re-enters step() and resumes the normal timing
+// path from exactly this instruction.
+//
+// One instruction retires per event, rescheduled on the detailed ALU
+// cadence plus the same persistent per-wave bias execute() applies.
+// Both choices are about warming fidelity, not cost: a wave retiring
+// a long burst would reorder the access stream seen by the (instantly
+// updated) TLBs and victim structures, inflating miss and walk counts
+// on thrash-bound workloads; and a uniform cadence would re-align
+// every wave into perfect lockstep, so the first detailed window
+// after fast-forward would measure a synchronized-convoy transient
+// instead of the drifted steady state the detailed model maintains.
+// One event per instruction is still ~100× fewer events than the
+// detailed memory system generates.
+func (w *wave) ffRun() {
+	sp := w.cu.sys.Sampler
+	if w.i >= w.k.InstrPerWave {
+		w.cu.sys.waveDone(w)
+		return
+	}
+	if sp.Detailed() {
+		w.step()
+		return
+	}
+	w.ffExecute()
+	w.i++
+	sp.Executed()
+	bias := sim.Time(w.wgToken*7+w.id*3) % 6
+	w.cu.eng.AfterEvent(w.cu.cfg.ALULatency+bias, waveFFStep, w)
+}
+
+// ffExecute retires one instruction functionally. While the sampler
+// reports Warming(), the instruction mix and address streams are
+// identical to execute(); only timing (ports, event latencies, the
+// data-cache hierarchy) is skipped, and the IB and I-cache see the
+// same fetch/prefetch stream as detailed mode so their contents stay
+// faithful across mode switches. Outside warming — the skip spans far
+// from any measurement window — only the position-bearing state
+// advances: instruction-mix counters and the workload's memory-access
+// sequence number (so warming resumes at the correct point in the
+// address stream), with no structure touched and no addresses even
+// generated.
+func (w *wave) ffExecute() {
+	cu := w.cu
+	cu.stats.WaveInstrs++
+	cu.stats.ThreadInstrs += uint64(cu.cfg.Lanes)
+
+	if !cu.sys.Sampler.Warming() {
+		isMem := w.k.MemEvery > 0 && w.i%w.k.MemEvery == w.k.MemEvery-1
+		if isMem {
+			cu.stats.MemInstrs++
+			w.memK++
+		} else if w.k.LDSEvery > 0 && w.i%w.k.LDSEvery == w.k.LDSEvery-1 {
+			cu.stats.LDSInstrs++
+		}
+		return
+	}
+
+	pc := w.pc()
+	lineTag := uint64(pc) / uint64(cu.cfg.LineBytes)
+	if w.ibHas(lineTag) {
+		cu.stats.IBHits++
+	} else {
+		cu.stats.Fetches++
+		cu.IC.WarmFetch(pc)
+		next := pc + vm.PA(cu.cfg.LineBytes)
+		if !cu.IC.HasInstr(next) {
+			cu.stats.Prefetches++
+			cu.IC.FillInstr(next)
+		}
+		w.ibFill(lineTag)
+	}
+
+	isMem := w.k.MemEvery > 0 && w.i%w.k.MemEvery == w.k.MemEvery-1
+	isLDS := !isMem && w.k.LDSEvery > 0 && w.i%w.k.LDSEvery == w.k.LDSEvery-1
+
+	switch {
+	case isMem:
+		cu.stats.MemInstrs++
+		addrs := w.k.Mem(w.wg, w.id, w.memK, w.scratch[:0])
+		w.memK++
+		cu.warmMemAccess(w.space, addrs)
+	case isLDS:
+		cu.stats.LDSInstrs++
+	}
 }

@@ -18,6 +18,21 @@ type Xlat struct {
 	coal    *tlb.Coalescer
 	path    *victim.Path
 	reqPool sim.Pool[xlatReq]
+
+	// warmSeq / warmFilter emulate the coalescer's in-flight merge
+	// window for fast-forward warming; see WarmTranslate.
+	warmSeq    uint64
+	warmFilter []warmSlot
+}
+
+// warmSlot is one entry of the recent-miss filter: the missing key and
+// the miss sequence number at which its modeled walk started. Key and
+// sequence share a 16-byte slot so a filter probe touches one cache
+// line — with 64 CUs each holding a filter, the aggregate footprint is
+// what the hot warming loop actually walks.
+type warmSlot struct {
+	key tlb.Key
+	seq uint64
 }
 
 // xlatReq is the pooled context of one L1-TLB lookup, reused across
@@ -110,6 +125,57 @@ func xlatFillDone(c any, e tlb.Entry) {
 	key := r.key
 	x.put(r)
 	x.coal.Complete(key, e)
+}
+
+// warmMergeWindow approximates the coalescer's in-flight horizon in
+// fast-forward mode, denominated in per-CU L1-TLB misses: a repeat miss
+// on a key whose walk "started" fewer than this many misses ago merges
+// instead of re-traversing the victim path, exactly as a detailed-mode
+// join neither walks nor re-fills the L1. A detailed L1 miss is
+// outstanding for the 108-cycle array access plus the victim-path
+// round-trip — hundreds of cycles in which a CU issues a few hundred
+// further lane misses — so the window is a few hundred misses wide.
+// Without it fast-forward (where every translation completes before the
+// next begins) inflates victim-path traffic ~25% above detailed mode on
+// translation-thrashing workloads.
+const warmMergeWindow = 256
+
+// warmFilterBits sizes the direct-mapped recent-miss filter backing the
+// merge window. A direct-mapped probe is an order of magnitude cheaper
+// than a map access on the hottest warming path; a hash collision only
+// evicts the colliding key's window early, costing one extra (harmless)
+// victim-path traversal. 2048 slots keeps the per-CU filter at 32KB —
+// 2MB across 64 CUs, small enough to stay cache-resident next to the
+// TLB and victim arrays — while holding the collision rate against a
+// 256-miss window near 10%.
+const warmFilterBits = 11
+
+// WarmTranslate is the functional-warming form of TranslateEvent used
+// by sampled execution's fast-forward mode: the same L1 lookup,
+// victim-path resolution, L1 promotion and Figure 12 victim fill as
+// the detailed path — synchronously, with the coalescer's in-flight
+// merging emulated by warmMergeWindow (the fast-forward executor
+// dedupes a wave's lanes itself; cross-instruction overlap is what the
+// window models).
+func (x *Xlat) WarmTranslate(space *vm.AddrSpace, vpn vm.VPN) {
+	key := tlb.MakeKey(space.ID, vpn)
+	if _, ok := x.l1.Lookup(key); ok {
+		return
+	}
+	if x.warmFilter == nil {
+		x.warmFilter = make([]warmSlot, 1<<warmFilterBits)
+	}
+	x.warmSeq++
+	slot := &x.warmFilter[(uint64(key)*0x9E3779B97F4A7C15)>>(64-warmFilterBits)]
+	if slot.key == key && slot.seq != 0 && x.warmSeq-slot.seq <= warmMergeWindow {
+		return // joins the modeled in-flight walk: no path, no L1 fill
+	}
+	slot.key = key
+	slot.seq = x.warmSeq
+	e := x.path.WarmTranslate(space, vpn)
+	if victimEntry, evicted := x.l1.Insert(e); evicted {
+		x.path.FillVictim(victimEntry)
+	}
 }
 
 // Shootdown invalidates vpn in the L1 TLB and this CU's victim

@@ -124,16 +124,21 @@ func (s Stats) InstrHitRate() float64 {
 	return float64(s.InstrHits) / float64(s.Fetches)
 }
 
+// line is one reconfigurable I-cache line. Translation-mode state is
+// inline (value-type tag group, fixed arrays sized bdc.MaxSlots) so a
+// victim-store probe touches one contiguous struct instead of chasing
+// five heap pointers — the dominant cost of a probe at this call
+// volume, in detailed mode and fast-forward warming alike.
 type line struct {
 	mode  Mode
 	tag   uint64 // instruction line address when ICMode
 	stamp uint64
 
-	txTags   *bdc.Group
-	txSpaces []vm.SpaceID
-	txVPNs   []vm.VPN
-	txPFNs   []vm.PFN
-	txStamps []uint64
+	txTags   bdc.Group
+	txSpaces [bdc.MaxSlots]vm.SpaceID
+	txVPNs   [bdc.MaxSlots]vm.VPN
+	txPFNs   [bdc.MaxSlots]vm.PFN
+	txStamps [bdc.MaxSlots]uint64
 }
 
 // ICache is one reconfigurable instruction cache instance.
@@ -194,10 +199,6 @@ func (c *ICache) newLine() line {
 	if c.cfg.TxPerLine > 0 {
 		// Figure 10c: 32-bit base, 8-bit signed deltas per sub-way tag.
 		l.txTags = bdc.NewGroup(c.cfg.TxPerLine, 32, 8)
-		l.txSpaces = make([]vm.SpaceID, c.cfg.TxPerLine)
-		l.txVPNs = make([]vm.VPN, c.cfg.TxPerLine)
-		l.txPFNs = make([]vm.PFN, c.cfg.TxPerLine)
-		l.txStamps = make([]uint64, c.cfg.TxPerLine)
 	}
 	return l
 }
@@ -240,6 +241,27 @@ func (c *ICache) Fetch(addr vm.PA) (bool, sim.Time) {
 	}
 	c.stats.InstrMisses++
 	return false, finish
+}
+
+// WarmFetch is the functional-warming form of Fetch + FillInstr used
+// by sampled execution's fast-forward mode: the same tag check, LRU
+// touch, hit/miss counters and (on a miss) victim-selecting fill as
+// the detailed path, with no port occupancy and no timing. Keeping
+// the content transitions identical is what lets a measurement window
+// start against the exact cache image a full-detail run would have.
+func (c *ICache) WarmFetch(addr vm.PA) {
+	c.stats.Fetches++
+	set, la := c.instrSet(addr)
+	for w := range set {
+		if set[w].mode == ICMode && set[w].tag == la {
+			c.clock++
+			set[w].stamp = c.clock
+			c.stats.InstrHits++
+			return
+		}
+	}
+	c.stats.InstrMisses++
+	c.FillInstr(addr)
 }
 
 // HasInstr reports whether the instruction line containing addr is
@@ -401,26 +423,39 @@ func (c *ICache) TxLookupLatency() sim.Time {
 // TxLookup probes the victim store for key, occupying the port. It
 // returns the entry, whether it hit, and the completion time.
 func (c *ICache) TxLookup(key tlb.Key) (tlb.Entry, bool, sim.Time) {
+	grant := c.port.Acquire()
+	e, hit := c.txLookup(key)
+	return e, hit, grant + c.TxLookupLatency()
+}
+
+// WarmTxLookup is TxLookup for fast-forward warming: identical probe,
+// LRU and counter transitions, but no port acquisition — fast-forward
+// consumes no time, so a grant would only distort the port's
+// utilization series (which Engine.RelaxPorts then has to unwind).
+func (c *ICache) WarmTxLookup(key tlb.Key) (tlb.Entry, bool) {
+	return c.txLookup(key)
+}
+
+// txLookup is the content half of a victim-store probe, shared by the
+// detailed and warming forms.
+func (c *ICache) txLookup(key tlb.Key) (tlb.Entry, bool) {
 	if c.cfg.TxPerLine == 0 {
 		//gpureach:allow simerr -- probing a Tx-disabled I-cache is a wiring bug in the scheme plumbing, caught by the first lookup of any run
 		panic("icache: TxLookup with reconfiguration disabled")
 	}
 	c.stats.TxLookups++
-	grant := c.port.Acquire()
-	finish := grant + c.TxLookupLatency()
-
 	ln := c.txLine(key)
 	if ln.mode != TxMode {
-		return tlb.Entry{}, false, finish
+		return tlb.Entry{}, false
 	}
 	w := ln.txTags.Find(c.txTagValue(key))
 	if w < 0 || tlb.MakeKey(ln.txSpaces[w], ln.txVPNs[w]) != key {
-		return tlb.Entry{}, false, finish
+		return tlb.Entry{}, false
 	}
 	c.clock++
 	ln.txStamps[w] = c.clock
 	c.stats.TxHits++
-	return tlb.Entry{Space: ln.txSpaces[w], VPN: ln.txVPNs[w], PFN: ln.txPFNs[w]}, true, finish
+	return tlb.Entry{Space: ln.txSpaces[w], VPN: ln.txVPNs[w], PFN: ln.txPFNs[w]}, true
 }
 
 // TxProbe reports whether key is resident right now, with no port,

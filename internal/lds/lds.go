@@ -102,14 +102,19 @@ type Stats struct {
 	Shootdowns         uint64
 }
 
+// segment is one reconfigurable LDS segment. All per-way state is
+// inline (value-type tag group, fixed arrays sized bdc.MaxSlots): a
+// victim-store probe touches one contiguous struct instead of chasing
+// five heap pointers, which is what the fast-forward warming loop —
+// and every detailed Tx access — actually pays for.
 type segment struct {
 	mode   Mode
 	wg     int // owning work-group when LDSMode
-	tags   *bdc.Group
-	pfns   []vm.PFN
-	spaces []vm.SpaceID
-	vpns   []vm.VPN
-	stamps []uint64
+	tags   bdc.Group
+	pfns   [bdc.MaxSlots]vm.PFN
+	spaces [bdc.MaxSlots]vm.SpaceID
+	vpns   [bdc.MaxSlots]vm.VPN
+	stamps [bdc.MaxSlots]uint64
 }
 
 type allocation struct {
@@ -141,13 +146,7 @@ func New(eng *sim.Engine, cfg Config) *LDS {
 	n := cfg.SizeBytes / cfg.SegmentBytes
 	l := &LDS{cfg: cfg, eng: eng, port: sim.NewPort(eng, cfg.PortInterval), segments: make([]segment, n)}
 	for i := range l.segments {
-		l.segments[i] = segment{
-			tags:   bdc.NewGroup(ways, 16, 16),
-			pfns:   make([]vm.PFN, ways),
-			spaces: make([]vm.SpaceID, ways),
-			vpns:   make([]vm.VPN, ways),
-			stamps: make([]uint64, ways),
-		}
+		l.segments[i] = segment{tags: bdc.NewGroup(ways, 16, 16)}
 	}
 	return l
 }
@@ -310,27 +309,40 @@ func (l *LDS) TxLookupLatency() sim.Time {
 // TxLookup probes the victim store for key. It occupies the port and
 // returns the entry, whether it hit, and the completion time.
 func (l *LDS) TxLookup(key tlb.Key) (tlb.Entry, bool, sim.Time) {
-	l.stats.TxLookups++
 	grant := l.port.Acquire()
-	finish := grant + l.TxLookupLatency()
+	e, hit := l.txLookup(key)
+	return e, hit, grant + l.TxLookupLatency()
+}
 
+// WarmTxLookup is TxLookup for fast-forward warming: identical probe,
+// LRU and counter transitions, but no port acquisition — fast-forward
+// consumes no time, so a grant would only distort the port's
+// utilization series (which Engine.RelaxPorts then has to unwind).
+func (l *LDS) WarmTxLookup(key tlb.Key) (tlb.Entry, bool) {
+	return l.txLookup(key)
+}
+
+// txLookup is the content half of a victim-store probe, shared by the
+// detailed and warming forms.
+func (l *LDS) txLookup(key tlb.Key) (tlb.Entry, bool) {
+	l.stats.TxLookups++
 	seg := &l.segments[l.segIndex(key)]
 	if seg.mode != TxMode {
-		return tlb.Entry{}, false, finish
+		return tlb.Entry{}, false
 	}
 	w := seg.tags.Find(l.tagValue(key))
 	if w < 0 {
-		return tlb.Entry{}, false, finish
+		return tlb.Entry{}, false
 	}
 	// Full-key verification: compressed tags may alias; hardware's full
 	// compare happens against the stored VPN bits.
 	if tlb.MakeKey(seg.spaces[w], seg.vpns[w]) != key {
-		return tlb.Entry{}, false, finish
+		return tlb.Entry{}, false
 	}
 	l.clock++
 	seg.stamps[w] = l.clock
 	l.stats.TxHits++
-	return tlb.Entry{Space: seg.spaces[w], VPN: seg.vpns[w], PFN: seg.pfns[w]}, true, finish
+	return tlb.Entry{Space: seg.spaces[w], VPN: seg.vpns[w], PFN: seg.pfns[w]}, true
 }
 
 // TxProbe reports whether key is resident right now, with no port,

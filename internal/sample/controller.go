@@ -1,0 +1,388 @@
+package sample
+
+import (
+	"fmt"
+
+	"gpureach/internal/sim"
+	"gpureach/internal/stats"
+)
+
+// Hooks give the Controller its view of the machine. Every hook is
+// optional (nil-safe) so the controller unit-tests run against a bare
+// counter, but a real wiring sets all of them.
+type Hooks struct {
+	// Now returns the engine clock.
+	Now func() sim.Time
+	// Walks returns the cumulative page-walk count.
+	Walks func() uint64
+	// Idle returns the cumulative cycles of known instruction-free
+	// machine time (kernel-launch gaps). Windows subtract the idle
+	// delta from their measured cycles — idle time is exactly known,
+	// so it is added back to the extrapolated estimate analytically
+	// instead of being statistically amplified by whichever window
+	// happens to straddle a launch.
+	Idle func() uint64
+	// OnDetailStart runs at every fast-forward → detailed transition,
+	// before the first detailed instruction issues. The core wires the
+	// port-backlog relax here: fast-forward drives shared ports without
+	// consuming time, so their schedules must be clamped to "now" or
+	// the first detailed window would start inside a phantom queue.
+	OnDetailStart func()
+}
+
+// ffWarmMult and ffWarmFloor size each window's functional-warming
+// run-in. Instructions before the run-in are skipped (position
+// advances, no structure transitions): translation state — L1 TLBs,
+// victim ways, L2 TLB, IOMMU — is rebuilt by the run-in, which is 2×
+// the detailed span but never shorter than ffWarmFloor global wave
+// instructions. The multiple keeps the run-in proportionate on long
+// windows; the floor is what guarantees correctness on short ones —
+// the refill distance of the translation hierarchy is a property of
+// the machine (hundreds of memory instructions to turn over the
+// shared L2 TLB and victim ways), not of the window length, so a
+// run-in sized only relative to a tiny detailed span would start
+// windows on half-cold structures and bias CPI upward. When windows
+// are close together (high detail fractions) the run-in covers the
+// entire gap and nothing is skipped. The calibrate-sampling harness
+// is the check on these constants: it measures exactly the error this
+// approximation could introduce.
+const (
+	ffWarmMult  = 2
+	ffWarmFloor = 1024
+)
+
+// region is one window's detailed span in wave-instruction space:
+// instructions [wStart, dStart) run fast-forward with functional
+// warming (before wStart they are skipped); [dStart, dEnd) run
+// detailed; measurement covers [mStart, dEnd) — the first third of
+// the detailed span is discarded as pipeline warm-up.
+type region struct {
+	wStart uint64
+	dStart uint64
+	mStart uint64
+	dEnd   uint64
+}
+
+// Window is one completed measurement window. Cycles excludes known
+// idle time (Idle carries the excluded amount), so CPI is execution
+// cycles per instruction.
+type Window struct {
+	Index      int     `json:"index"`
+	StartInstr uint64  `json:"start_instr"`
+	Instrs     uint64  `json:"instrs"`
+	Cycles     uint64  `json:"cycles"`
+	Idle       uint64  `json:"idle,omitempty"`
+	Walks      uint64  `json:"walks"`
+	CPI        float64 `json:"cpi"`
+	WalkPKI    float64 `json:"walk_pki"`
+}
+
+// Estimate is the extrapolated full-run result of a sampled run.
+// Cycles is TotalInstrs × CPI, so its CI inherits the window-to-window
+// CPI variation. Raw content counters in a sampled run's Results
+// (walks, hit totals) cover only the warmed and detailed spans — skip
+// spans leave them untouched — so walk *counts* must come from
+// WalkPKI × TotalInstrs, not the raw counters; *rates* (hit rates,
+// per-access ratios) remain directly comparable because numerator and
+// denominator are truncated together.
+type Estimate struct {
+	Config         Config `json:"config"`
+	TotalInstrs    uint64 `json:"total_instrs"`
+	MeasuredInstrs uint64 `json:"measured_instrs"`
+	// IdleCycles is the exactly-known instruction-free time (kernel
+	// launches) included verbatim in the Cycles estimate.
+	IdleCycles uint64     `json:"idle_cycles"`
+	Windows    []Window   `json:"windows"`
+	CPI        stats.Stat `json:"cpi"`
+	IPC        stats.Stat `json:"ipc"`
+	WalkPKI    stats.Stat `json:"walk_pki"`
+	Cycles     stats.Stat `json:"cycles"`
+	// Digest pins the per-window measurements; ScheduleDigest pins the
+	// window boundaries (a pure function of total, windows, frac, seed).
+	Digest         string `json:"digest"`
+	ScheduleDigest string `json:"schedule_digest"`
+}
+
+// Controller tracks the run's position in the global wave-instruction
+// stream and flips the machine between fast-forward and detailed mode
+// on exact instruction boundaries. It implements the machine-side
+// Sampler contract structurally (Detailed / Executed).
+type Controller struct {
+	cfg     Config
+	total   uint64
+	hooks   Hooks
+	regions []region
+
+	pos      uint64
+	wi       int
+	phase    int
+	next     uint64
+	detailed bool
+	warming  bool
+
+	startNow   sim.Time
+	startWalks uint64
+	startIdle  uint64
+	startPos   uint64
+
+	windows []Window
+}
+
+const (
+	phaseSkip   = iota // fast-forward, no warming: position only
+	phaseWarmFF        // fast-forward with functional warming
+	phaseWarm          // detailed, pre-measurement pipeline warm-up
+	phaseMeas          // detailed, measured
+	phaseDone
+)
+
+// schedule lays the detailed regions over a total instruction stream.
+// Each window is total/W instructions long; its detailed span starts
+// at a seed-jittered offset so the schedule cannot phase-lock with
+// periodic program behaviour.
+func schedule(total uint64, cfg Config) []region {
+	if total == 0 || cfg.Windows <= 0 {
+		return nil
+	}
+	w := uint64(cfg.Windows)
+	if w > total {
+		w = total
+	}
+	winLen := total / w
+	detailLen := uint64(cfg.DetailFrac * float64(winLen))
+	if detailLen < 1 {
+		detailLen = 1
+	}
+	if detailLen > winLen {
+		detailLen = winLen
+	}
+	warmLen := detailLen / 3
+	ffWarmLen := detailLen * ffWarmMult
+	if ffWarmLen < ffWarmFloor {
+		ffWarmLen = ffWarmFloor
+	}
+	maxOff := winLen - detailLen
+	regions := make([]region, 0, w)
+	prevEnd := uint64(0)
+	for i := uint64(0); i < w; i++ {
+		var off uint64
+		if maxOff > 0 {
+			off = splitmix64(cfg.Seed^((i+1)*0x9E3779B97F4A7C15)) % (maxOff + 1)
+		}
+		dStart := i*winLen + off
+		wStart := prevEnd
+		if dStart-prevEnd > ffWarmLen {
+			wStart = dStart - ffWarmLen
+		}
+		regions = append(regions, region{
+			wStart: wStart,
+			dStart: dStart,
+			mStart: dStart + warmLen,
+			dEnd:   dStart + detailLen,
+		})
+		prevEnd = dStart + detailLen
+	}
+	return regions
+}
+
+// NewController builds a controller for a run of total wave
+// instructions. cfg must be normalized and valid; total may be 0 (the
+// controller then stays permanently detailed and estimates nothing).
+func NewController(total uint64, cfg Config, hooks Hooks) *Controller {
+	c := &Controller{
+		cfg:     cfg,
+		total:   total,
+		hooks:   hooks,
+		regions: schedule(total, cfg),
+	}
+	if len(c.regions) == 0 {
+		c.phase = phaseDone
+		c.next = ^uint64(0)
+		c.detailed = true
+		c.warming = true
+		return c
+	}
+	c.phase = phaseSkip
+	c.next = c.regions[0].wStart
+	c.sync()
+	return c
+}
+
+// Detailed reports whether the machine is inside a detailed window.
+func (c *Controller) Detailed() bool { return c.detailed }
+
+// Warming reports whether fast-forward execution should perform
+// content-level state transitions (warm TLBs, victim structures,
+// instruction paths). False only during skip spans, where the stream
+// position advances but no structure is touched. Always true while
+// detailed.
+func (c *Controller) Warming() bool { return c.warming }
+
+// Executed advances the stream position by one retired wave
+// instruction and processes any window boundaries it crossed.
+func (c *Controller) Executed() {
+	c.pos++
+	c.sync()
+}
+
+func (c *Controller) sync() {
+	for c.pos >= c.next {
+		c.crossOne()
+	}
+}
+
+func (c *Controller) crossOne() {
+	switch c.phase {
+	case phaseSkip:
+		c.warming = true
+		c.phase = phaseWarmFF
+		c.next = c.regions[c.wi].dStart
+	case phaseWarmFF:
+		c.detailed = true
+		c.phase = phaseWarm
+		c.next = c.regions[c.wi].mStart
+		if c.hooks.OnDetailStart != nil {
+			c.hooks.OnDetailStart()
+		}
+	case phaseWarm:
+		c.startNow = c.now()
+		c.startWalks = c.walks()
+		c.startIdle = c.idle()
+		c.startPos = c.pos
+		c.phase = phaseMeas
+		c.next = c.regions[c.wi].dEnd
+	case phaseMeas:
+		c.record()
+		c.detailed = false
+		c.warming = false
+		c.wi++
+		if c.wi == len(c.regions) {
+			c.phase = phaseDone
+			c.next = ^uint64(0)
+			return
+		}
+		c.phase = phaseSkip
+		c.next = c.regions[c.wi].wStart
+	default: // phaseDone
+		c.next = ^uint64(0)
+	}
+}
+
+func (c *Controller) now() sim.Time {
+	if c.hooks.Now == nil {
+		return 0
+	}
+	return c.hooks.Now()
+}
+
+func (c *Controller) walks() uint64 {
+	if c.hooks.Walks == nil {
+		return 0
+	}
+	return c.hooks.Walks()
+}
+
+func (c *Controller) idle() uint64 {
+	if c.hooks.Idle == nil {
+		return 0
+	}
+	return c.hooks.Idle()
+}
+
+func (c *Controller) record() {
+	cycles := uint64(c.now() - c.startNow)
+	idle := c.idle() - c.startIdle
+	if idle > cycles {
+		idle = cycles
+	}
+	instrs := c.pos - c.startPos
+	w := Window{
+		Index:      len(c.windows),
+		StartInstr: c.startPos,
+		Instrs:     instrs,
+		Cycles:     cycles - idle,
+		Idle:       idle,
+		Walks:      c.walks() - c.startWalks,
+	}
+	if instrs > 0 {
+		w.CPI = float64(w.Cycles) / float64(instrs)
+		w.WalkPKI = float64(w.Walks) * 1000 / float64(instrs)
+	}
+	c.windows = append(c.windows, w)
+}
+
+// Windows returns the completed measurement windows so far.
+func (c *Controller) Windows() []Window { return c.windows }
+
+// Estimate extrapolates the completed windows to full-run numbers.
+func (c *Controller) Estimate() *Estimate {
+	est := &Estimate{
+		Config:      c.cfg,
+		TotalInstrs: c.total,
+		Windows:     append([]Window(nil), c.windows...),
+	}
+	cpis := make([]float64, 0, len(c.windows))
+	ipcs := make([]float64, 0, len(c.windows))
+	wpkis := make([]float64, 0, len(c.windows))
+	for _, w := range c.windows {
+		est.MeasuredInstrs += w.Instrs
+		cpis = append(cpis, w.CPI)
+		if w.Cycles > 0 {
+			ipcs = append(ipcs, float64(w.Instrs)/float64(w.Cycles))
+		}
+		wpkis = append(wpkis, w.WalkPKI)
+	}
+	est.CPI = stats.Of(cpis)
+	est.IPC = stats.Of(ipcs)
+	est.WalkPKI = stats.Of(wpkis)
+	est.IdleCycles = c.idle()
+	t := float64(c.total)
+	est.Cycles = stats.Stat{
+		Mean: t*est.CPI.Mean + float64(est.IdleCycles),
+		CI95: t * est.CPI.CI95,
+		N:    est.CPI.N,
+	}
+	est.ScheduleDigest = c.ScheduleDigest()
+	est.Digest = windowDigest(est.Windows)
+	return est
+}
+
+// ScheduleDigest fingerprints the window boundaries — a pure function
+// of (total, windows, frac, seed), so two runs share it iff they share
+// a sampling schedule.
+func (c *Controller) ScheduleDigest() string {
+	h := fnvOffset
+	h = fnvFold(h, c.total)
+	for _, r := range c.regions {
+		h = fnvFold(h, r.wStart)
+		h = fnvFold(h, r.dStart)
+		h = fnvFold(h, r.mStart)
+		h = fnvFold(h, r.dEnd)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// windowDigest fingerprints the per-window measurements; byte-identical
+// runs produce identical digests at any -procs.
+func windowDigest(ws []Window) string {
+	h := fnvOffset
+	for _, w := range ws {
+		h = fnvFold(h, w.StartInstr)
+		h = fnvFold(h, w.Instrs)
+		h = fnvFold(h, w.Cycles)
+		h = fnvFold(h, w.Walks)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+const fnvOffset uint64 = 14695981039346656037
+
+// fnvFold mixes one uint64 into an FNV-1a hash, little-endian bytewise.
+func fnvFold(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h
+}

@@ -1,0 +1,194 @@
+package sample
+
+import (
+	"testing"
+
+	"gpureach/internal/sim"
+)
+
+// driveRun simulates a machine against the controller: every detailed
+// instruction costs cpi cycles, fast-forward costs none, and every
+// instruction performs one page walk (so WalkPKI is exactly 1000).
+// It returns the count of detailed instructions and detail starts.
+func driveRun(c *Controller, total uint64, cpi uint64, now *sim.Time, walks *uint64) (detailed uint64) {
+	for i := uint64(0); i < total; i++ {
+		if c.Detailed() {
+			detailed++
+			*now += sim.Time(cpi)
+		}
+		*walks++
+		c.Executed()
+	}
+	return detailed
+}
+
+func newTestController(total uint64, cfg Config) (*Controller, *sim.Time, *uint64, *int) {
+	now := new(sim.Time)
+	walks := new(uint64)
+	starts := new(int)
+	c := NewController(total, cfg.Normalize(), Hooks{
+		Now:           func() sim.Time { return *now },
+		Walks:         func() uint64 { return *walks },
+		OnDetailStart: func() { *starts++ },
+	})
+	return c, now, walks, starts
+}
+
+func TestControllerExactExtrapolation(t *testing.T) {
+	const total = 1000
+	cfg := Config{Windows: 4, DetailFrac: 0.2, Seed: 1}
+	c, now, walks, starts := newTestController(total, cfg)
+
+	detailed := driveRun(c, total, 2, now, walks)
+
+	// winLen 250, detailLen 50: exactly 4×50 detailed instructions.
+	if detailed != 200 {
+		t.Fatalf("detailed instructions = %d, want 200", detailed)
+	}
+	if *starts != 4 {
+		t.Fatalf("OnDetailStart ran %d times, want 4", *starts)
+	}
+	ws := c.Windows()
+	if len(ws) != 4 {
+		t.Fatalf("%d windows recorded, want 4", len(ws))
+	}
+	for _, w := range ws {
+		// warm-up discard = 50/3 = 16, so 34 measured instructions.
+		if w.Instrs != 34 {
+			t.Errorf("window %d measured %d instrs, want 34", w.Index, w.Instrs)
+		}
+		if w.CPI != 2.0 {
+			t.Errorf("window %d CPI = %v, want 2", w.Index, w.CPI)
+		}
+		if w.WalkPKI != 1000 {
+			t.Errorf("window %d WalkPKI = %v, want 1000", w.Index, w.WalkPKI)
+		}
+	}
+
+	est := c.Estimate()
+	if est.TotalInstrs != total || est.MeasuredInstrs != 4*34 {
+		t.Fatalf("totals: %d/%d", est.TotalInstrs, est.MeasuredInstrs)
+	}
+	// Constant per-window CPI: zero-width CI, exact extrapolation.
+	if est.CPI.Mean != 2.0 || est.CPI.CI95 != 0 || est.CPI.N != 4 {
+		t.Fatalf("CPI stat = %+v", est.CPI)
+	}
+	if est.Cycles.Mean != 2000 || est.Cycles.CI95 != 0 {
+		t.Fatalf("Cycles stat = %+v", est.Cycles)
+	}
+	if est.IPC.Mean != 0.5 {
+		t.Fatalf("IPC mean = %v, want 0.5", est.IPC.Mean)
+	}
+	if est.WalkPKI.Mean != 1000 {
+		t.Fatalf("WalkPKI mean = %v, want 1000", est.WalkPKI.Mean)
+	}
+	if est.Digest == "" || est.ScheduleDigest == "" {
+		t.Fatal("digests must be set")
+	}
+}
+
+func TestControllerDeterministicAcrossRuns(t *testing.T) {
+	run := func() *Estimate {
+		c, now, walks, _ := newTestController(5000, Config{Windows: 8, DetailFrac: 0.1, Seed: 42})
+		driveRun(c, 5000, 3, now, walks)
+		return c.Estimate()
+	}
+	a, b := run(), run()
+	if a.Digest != b.Digest || a.ScheduleDigest != b.ScheduleDigest {
+		t.Fatalf("identical runs diverged: %s/%s vs %s/%s",
+			a.Digest, a.ScheduleDigest, b.Digest, b.ScheduleDigest)
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycle estimates diverged: %+v vs %+v", a.Cycles, b.Cycles)
+	}
+}
+
+func TestControllerSeedChangesSchedule(t *testing.T) {
+	sched := func(seed uint64) string {
+		c := NewController(100000, Config{Windows: 8, DetailFrac: 0.05, Seed: seed}, Hooks{})
+		return c.ScheduleDigest()
+	}
+	if sched(1) == sched(2) {
+		t.Fatal("different seeds produced the same window schedule")
+	}
+	if sched(1) != sched(1) {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+func TestControllerDegenerate(t *testing.T) {
+	// No instructions: permanently detailed, estimates nothing.
+	c := NewController(0, Config{Windows: 4, DetailFrac: 0.5}, Hooks{})
+	if !c.Detailed() {
+		t.Fatal("zero-total controller must stay detailed")
+	}
+	est := c.Estimate()
+	if len(est.Windows) != 0 || est.Cycles.N != 0 {
+		t.Fatalf("zero-total estimate: %+v", est)
+	}
+
+	// More windows than instructions: clamp to one window per instr.
+	c, now, walks, _ := newTestController(3, Config{Windows: 8, DetailFrac: 0.5})
+	driveRun(c, 3, 1, now, walks)
+	if got := len(c.Windows()); got != 3 {
+		t.Fatalf("clamped run recorded %d windows, want 3", got)
+	}
+
+	// DetailFrac 1: every instruction detailed, contiguous windows.
+	c, now, walks, starts := newTestController(100, Config{Windows: 5, DetailFrac: 1})
+	detailed := driveRun(c, 100, 1, now, walks)
+	if detailed != 100 {
+		t.Fatalf("frac=1 ran %d detailed instrs, want 100", detailed)
+	}
+	if len(c.Windows()) != 5 || *starts != 5 {
+		t.Fatalf("frac=1: %d windows, %d starts", len(c.Windows()), *starts)
+	}
+}
+
+func TestControllerNilHooks(t *testing.T) {
+	c := NewController(100, Config{Windows: 2, DetailFrac: 0.5}, Hooks{})
+	for i := 0; i < 100; i++ {
+		c.Executed()
+	}
+	est := c.Estimate()
+	if len(est.Windows) != 2 {
+		t.Fatalf("%d windows, want 2", len(est.Windows))
+	}
+	// No clock: zero cycles, zero CPI, IPC skipped as non-finite.
+	if est.CPI.Mean != 0 || est.IPC.N != 0 {
+		t.Fatalf("nil-hook estimate: CPI %+v IPC %+v", est.CPI, est.IPC)
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	cfg := Config{Windows: 16, DetailFrac: 0.05, Seed: 9}
+	const total = 1 << 20
+	regions := schedule(total, cfg)
+	if len(regions) != 16 {
+		t.Fatalf("%d regions, want 16", len(regions))
+	}
+	winLen := uint64(total / 16)
+	detailLen := uint64(0.05 * float64(winLen))
+	for i, r := range regions {
+		lo, hi := uint64(i)*winLen, uint64(i+1)*winLen
+		if r.dStart < lo || r.dEnd > hi {
+			t.Errorf("region %d [%d,%d) escapes window [%d,%d)", i, r.dStart, r.dEnd, lo, hi)
+		}
+		if r.dEnd-r.dStart != detailLen {
+			t.Errorf("region %d detail length %d, want %d", i, r.dEnd-r.dStart, detailLen)
+		}
+		if r.mStart < r.dStart || r.mStart >= r.dEnd {
+			t.Errorf("region %d measure start %d outside [%d,%d)", i, r.mStart, r.dStart, r.dEnd)
+		}
+	}
+	// Jitter must actually move offsets between windows.
+	same := true
+	for i := 1; i < len(regions); i++ {
+		if regions[i].dStart-uint64(i)*winLen != regions[0].dStart {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("every window has the same offset; jitter is dead")
+	}
+}

@@ -1,0 +1,142 @@
+// Package sample implements sampled execution: a run alternates short
+// detailed measurement windows with fast-forward functional warming,
+// in the SMARTS tradition of statistical simulation sampling.
+// Per-window CPI extrapolates to a full-run cycle estimate reported as
+// mean ± 95% CI via internal/stats.
+//
+// Fast-forward itself has two phases. Far from any window the machine
+// *skips*: instructions only advance position and instruction-mix
+// counters — no content structure transitions, no addresses generated.
+// Within a run-in distance of the next detailed window (ffWarmMult ×
+// the window's detailed span, floored at ffWarmFloor) fast-forward
+// *warms*: TLBs, victim structures, I-cache and instruction buffers
+// take full content-level transitions so the window opens on
+// representative state. Timing events are skipped in both phases.
+//
+// The package deliberately knows nothing about the GPU model: the
+// machine drives a Controller through the three-method Sampler
+// contract (Detailed / Warming / Executed) and hands it clock and walk
+// counters through Hooks. internal/core wires the two sides together.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// DefaultDetailFrac is the detailed fraction used when a sampling spec
+// does not set one: 5% detail per window, the classic SMARTS operating
+// point.
+const DefaultDetailFrac = 0.05
+
+// Config selects sampled execution. The zero value (Windows == 0)
+// means full detail — no sampling.
+type Config struct {
+	// Windows is the number of measurement windows spread over the
+	// run's wave-instruction stream. 0 disables sampling.
+	Windows int `json:"windows"`
+	// DetailFrac is the fraction of each window executed in detailed
+	// timing mode, in (0, 1]. 0 means DefaultDetailFrac after
+	// Normalize.
+	DetailFrac float64 `json:"detail_frac"`
+	// Seed jitters each window's detailed region within its window so
+	// the schedule cannot phase-lock with periodic program behaviour.
+	Seed uint64 `json:"seed"`
+}
+
+// Enabled reports whether the config selects sampled execution.
+func (c Config) Enabled() bool { return c.Windows > 0 }
+
+// Normalize fills unset fields with defaults. Call before Validate.
+func (c Config) Normalize() Config {
+	if c.Windows > 0 && c.DetailFrac == 0 {
+		c.DetailFrac = DefaultDetailFrac
+	}
+	return c
+}
+
+// Validate rejects malformed sampling configs. The disabled zero
+// config is valid.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		if c.Windows < 0 {
+			return fmt.Errorf("sample: windows %d is negative", c.Windows)
+		}
+		return nil
+	}
+	if math.IsNaN(c.DetailFrac) || c.DetailFrac <= 0 || c.DetailFrac > 1 {
+		return fmt.Errorf("sample: detail fraction %v outside (0, 1]", c.DetailFrac)
+	}
+	return nil
+}
+
+// String renders the config in ParseSpec syntax (empty when disabled).
+func (c Config) String() string {
+	if !c.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("windows=%d,frac=%g,seed=%d", c.Windows, c.DetailFrac, c.Seed)
+}
+
+// parseKeys lists the keys ParseSpec accepts, for error messages.
+const parseKeys = "windows, frac, seed"
+
+// ParseSpec parses a -sample flag value like "windows=16,frac=0.05,seed=1".
+// windows is required; frac defaults to DefaultDetailFrac and seed to 0.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("sample: %q is not key=value (valid keys: %s)", part, parseKeys)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "windows":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("sample: bad windows %q: %v", val, err)
+			}
+			c.Windows = n
+		case "frac":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("sample: bad frac %q: %v", val, err)
+			}
+			c.DetailFrac = f
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("sample: bad seed %q: %v", val, err)
+			}
+			c.Seed = s
+		default:
+			return Config{}, fmt.Errorf("sample: unknown key %q (valid keys: %s)", key, parseKeys)
+		}
+	}
+	if c.Windows == 0 {
+		return Config{}, fmt.Errorf("sample: spec %q sets no windows (windows=N is required)", spec)
+	}
+	c = c.Normalize()
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a deterministic bijective
+// mixer used to derive per-window jitter offsets from (seed, index)
+// without math/rand.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

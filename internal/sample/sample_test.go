@@ -1,0 +1,107 @@
+package sample
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfigEnabledNormalizeValidate(t *testing.T) {
+	var zero Config
+	if zero.Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero config must validate: %v", err)
+	}
+	if got := zero.Normalize(); got != zero {
+		t.Fatalf("Normalize changed the disabled config: %+v", got)
+	}
+
+	c := Config{Windows: 8}.Normalize()
+	if c.DetailFrac != DefaultDetailFrac {
+		t.Fatalf("Normalize default frac = %v, want %v", c.DetailFrac, DefaultDetailFrac)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("normalized config must validate: %v", err)
+	}
+
+	bad := []Config{
+		{Windows: -1},
+		{Windows: 4, DetailFrac: 0},
+		{Windows: 4, DetailFrac: -0.1},
+		{Windows: 4, DetailFrac: 1.5},
+		{Windows: 4, DetailFrac: math.NaN()},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a bad config", b)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if s := (Config{}).String(); s != "" {
+		t.Fatalf("disabled config String = %q, want empty", s)
+	}
+	c := Config{Windows: 16, DetailFrac: 0.05, Seed: 7}
+	rt, err := ParseSpec(c.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(String()) failed: %v", err)
+	}
+	if rt != c {
+		t.Fatalf("round trip %+v != %+v", rt, c)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("windows=16,frac=0.1,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != (Config{Windows: 16, DetailFrac: 0.1, Seed: 42}) {
+		t.Fatalf("unexpected config %+v", c)
+	}
+
+	c, err = ParseSpec("windows=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DetailFrac != DefaultDetailFrac || c.Seed != 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+
+	c, err = ParseSpec(" windows = 2 , seed = 9 ")
+	if err != nil {
+		t.Fatalf("spaces must be tolerated: %v", err)
+	}
+	if c.Windows != 2 || c.Seed != 9 {
+		t.Fatalf("unexpected config %+v", c)
+	}
+
+	for spec, want := range map[string]string{
+		"frac=0.5":           "windows=N is required",
+		"windows":            "is not key=value",
+		"windows=x":          "bad windows",
+		"windows=4,frac=x":   "bad frac",
+		"windows=4,seed=-1":  "bad seed",
+		"windows=4,bogus=1":  "unknown key",
+		"windows=4,frac=1.5": "outside (0, 1]",
+	} {
+		_, err := ParseSpec(spec)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseSpec(%q) = %v, want error containing %q", spec, err, want)
+		}
+	}
+}
+
+func TestSplitmix64Deterministic(t *testing.T) {
+	// Known-answer pin: splitmix64 of 0, 1 must never drift — window
+	// schedules (and therefore cached digests) depend on it.
+	if got := splitmix64(0); got != 0xE220A8397B1DCDAF {
+		t.Fatalf("splitmix64(0) = %#x", got)
+	}
+	if got := splitmix64(1); got != 0x910A2DEC89025CC1 {
+		t.Fatalf("splitmix64(1) = %#x", got)
+	}
+}

@@ -1,0 +1,132 @@
+package sample
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"gpureach/internal/stats"
+)
+
+func estOf(mean, ci float64) *Estimate {
+	return &Estimate{Cycles: stats.Stat{Mean: mean, CI95: ci, N: 4}}
+}
+
+func TestValidateScoresRows(t *testing.T) {
+	pairs := []Pair{{App: "gups", Scheme: "ic+lds"}, {App: "alexnet", Scheme: "ic"}}
+	outcomes := map[Pair]PairOutcome{
+		// Full speedup 2.0; sampled 1900/1000 = 1.9 → 5% error, CI covers.
+		{App: "gups", Scheme: "ic+lds"}: {
+			FullBaseCycles: 2000, FullSchemeCycles: 1000,
+			SampledBase: estOf(1900, 100), SampledScheme: estOf(1000, 50),
+		},
+		// Exact match, zero-width CI.
+		{App: "alexnet", Scheme: "ic"}: {
+			FullBaseCycles: 3000, FullSchemeCycles: 2000,
+			SampledBase: estOf(3000, 0), SampledScheme: estOf(2000, 0),
+		},
+	}
+	rep, err := Validate(pairs, func(p Pair) (PairOutcome, error) { return outcomes[p], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rep.Rows))
+	}
+	r0 := rep.Rows[0]
+	if r0.FullSpeedup != 2.0 || r0.SampledSpeedup != 1.9 {
+		t.Fatalf("row 0 speedups: %+v", r0)
+	}
+	if math.Abs(r0.RelErr-0.05) > 1e-12 {
+		t.Fatalf("row 0 rel err = %v, want 0.05", r0.RelErr)
+	}
+	// CI: base [1800,2000], scheme [950,1050] → [1800/1050, 2000/950].
+	if !r0.Covered {
+		t.Fatalf("row 0 CI [%v,%v] should cover 2.0", r0.CILo, r0.CIHi)
+	}
+	r1 := rep.Rows[1]
+	if r1.RelErr != 0 || !r1.Covered || !r1.CyclesCovered || r1.CyclesRelErr != 0 {
+		t.Fatalf("exact row mis-scored: %+v", r1)
+	}
+	if rep.Coverage != 1.0 || rep.MaxRelErr != r0.RelErr {
+		t.Fatalf("aggregates: %+v", rep)
+	}
+	if err := rep.Check(0.05 + 1e-9); err != nil {
+		t.Fatalf("Check must pass: %v", err)
+	}
+	if err := rep.Check(0.01); err == nil {
+		t.Fatal("Check with a one-percent budget must fail on the five-percent row")
+	}
+	tbl := rep.Table()
+	for _, want := range []string{"gups", "alexnet", "ic+lds", "coverage"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestValidateUncoveredRow(t *testing.T) {
+	pairs := []Pair{{App: "gups", Scheme: "base"}}
+	rep, err := Validate(pairs, func(Pair) (PairOutcome, error) {
+		// Sampled speedup 1.0 with tight CI; truth is 3.0 → uncovered.
+		return PairOutcome{
+			FullBaseCycles: 3000, FullSchemeCycles: 1000,
+			SampledBase: estOf(1000, 1), SampledScheme: estOf(1000, 1),
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows[0].Covered || rep.Coverage != 0 {
+		t.Fatalf("row should be uncovered: %+v", rep.Rows[0])
+	}
+	if err := rep.Check(10); err == nil {
+		t.Fatal("Check must flag the uncovered row even inside the error budget")
+	}
+}
+
+func TestValidateWideCIUnboundedAbove(t *testing.T) {
+	rep, err := Validate([]Pair{{App: "a", Scheme: "s"}}, func(Pair) (PairOutcome, error) {
+		// Scheme CI floor below zero: upper speedup bound is unbounded.
+		return PairOutcome{
+			FullBaseCycles: 1000, FullSchemeCycles: 500,
+			SampledBase: estOf(1000, 2000), SampledScheme: estOf(500, 600),
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Rows[0]
+	if !math.IsInf(r.CIHi, 1) || r.CILo != 0 {
+		t.Fatalf("degenerate CI not clamped: [%v, %v]", r.CILo, r.CIHi)
+	}
+	if !r.Covered {
+		t.Fatal("an unbounded interval covers everything")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := Validate(nil, nil); err == nil {
+		t.Fatal("empty pair list must error")
+	}
+	boom := errors.New("boom")
+	_, err := Validate([]Pair{{App: "a"}}, func(Pair) (PairOutcome, error) {
+		return PairOutcome{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("runner error not propagated: %v", err)
+	}
+	bad := []PairOutcome{
+		{},
+		{FullBaseCycles: 1, FullSchemeCycles: 1},
+		{FullBaseCycles: 1, FullSchemeCycles: 1, SampledBase: estOf(0, 0), SampledScheme: estOf(1, 0)},
+	}
+	for i, out := range bad {
+		o := out
+		_, err := Validate([]Pair{{App: "a"}}, func(Pair) (PairOutcome, error) { return o, nil })
+		if err == nil {
+			t.Errorf("bad outcome %d accepted", i)
+		}
+	}
+}

@@ -100,6 +100,10 @@ type Engine struct {
 	curHead   int
 
 	heap []heapEvent
+
+	// ports lists every Port created on this engine, so a sampled run
+	// can relax them all at a fast-forward boundary (see RelaxPorts).
+	ports []*Port
 }
 
 // NewEngine returns an engine at cycle zero with an empty queue.

@@ -19,12 +19,15 @@ type Port struct {
 }
 
 // NewPort creates a port on engine eng with the given initiation
-// interval. An interval of 0 is treated as 1.
+// interval. An interval of 0 is treated as 1. Every port registers
+// with its engine so RelaxPorts can reach it.
 func NewPort(eng *Engine, interval Time) *Port {
 	if interval == 0 {
 		interval = 1
 	}
-	return &Port{eng: eng, Interval: interval, idle: NewGaps()}
+	p := &Port{eng: eng, Interval: interval, idle: NewGaps()}
+	eng.ports = append(eng.ports, p)
+	return p
 }
 
 // Acquire reserves the next port slot at or after the current cycle and
@@ -64,6 +67,49 @@ func (p *Port) AcquireAt(t Time) Time {
 	p.lastGrant = grant
 	p.grants++
 	return grant
+}
+
+// Relax clears any backlog the port has accumulated: the next Acquire
+// is granted at the current cycle as if the port had been idle. This
+// is the fast-forward drain used by sampled execution — functional
+// warming calls the same port-acquiring component methods as detailed
+// mode (so state transitions stay identical) while ignoring the
+// returned grant times, which lets nextFree run arbitrarily far ahead
+// of the slowly-advancing fast-forward clock. Relaxing every port at
+// the fast-forward → detailed boundary (Engine.RelaxPorts) prevents
+// that fictitious backlog from serializing the first real accesses of
+// a measurement window. lastGrant is clamped too so the idle-gap
+// distribution never records a negative (wrapped) gap across the
+// boundary; the port-utilization statistics of a sampled run are
+// warming-polluted either way and are documented as such.
+func (p *Port) Relax() {
+	now := p.eng.Now()
+	if p.nextFree <= now {
+		return // no backlog to clear
+	}
+	// Rewrite history as "the last grant finished just in time": the
+	// invariant nextFree == lastGrant + Interval must survive, because
+	// the idle-gap arithmetic in Acquire is unsigned and assumes every
+	// grant lands at least Interval cycles after the previous one.
+	if now >= p.Interval {
+		p.nextFree = now
+		p.lastGrant = now - p.Interval
+		return
+	}
+	// Within the first Interval cycles of the run there is no
+	// invariant-preserving way to free the port at now exactly; a
+	// residual backlog of < Interval cycles is negligible.
+	p.nextFree = p.Interval
+	p.lastGrant = 0
+}
+
+// RelaxPorts relaxes every port created on this engine (see
+// Port.Relax). Sampled execution calls it when switching from
+// fast-forward warming back to detailed measurement.
+func (e *Engine) RelaxPorts() {
+	for _, p := range e.ports {
+		p.Relax()
+	}
 }
 
 // Grants returns the number of operations the port has served.

@@ -1,0 +1,143 @@
+// Package stats is the small statistical toolkit shared by the sweep
+// robustness scorecard (internal/sweep/robust.go) and the sampled-
+// execution estimator (internal/sample): sample mean and variance,
+// Student-t 95% confidence intervals, and the geometric mean the paper
+// uses for cross-application aggregates.
+//
+// Every helper rejects non-finite samples (NaN, ±Inf) by ignoring
+// them: a single poisoned sample must not silently corrupt a CI that
+// downstream code treats as a coverage guarantee.
+package stats
+
+import "math"
+
+// Stat is a sample summary: mean ± half-width of the 95% confidence
+// interval over N samples. The JSON field names are shared with the
+// robustness scorecard's artifacts, so they must not change.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// Interval returns the CI bounds [Mean-CI95, Mean+CI95].
+func (s Stat) Interval() (lo, hi float64) { return s.Mean - s.CI95, s.Mean + s.CI95 }
+
+// Covers reports whether x lies inside the 95% confidence interval.
+func (s Stat) Covers(x float64) bool {
+	lo, hi := s.Interval()
+	return x >= lo && x <= hi
+}
+
+// finite filters xs down to its finite values. It returns xs itself
+// when nothing needs dropping (the common case — no allocation).
+func finite(xs []float64) []float64 {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			out := make([]float64, i, len(xs))
+			copy(out, xs[:i])
+			for _, y := range xs[i+1:] {
+				if !math.IsNaN(y) && !math.IsInf(y, 0) {
+					out = append(out, y)
+				}
+			}
+			return out
+		}
+	}
+	return xs
+}
+
+// Mean returns the arithmetic mean of the finite samples (0 for none).
+func Mean(xs []float64) float64 {
+	xs = finite(xs)
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator) of
+// the finite samples; fewer than two samples yield 0.
+func Variance(xs []float64) float64 {
+	xs = finite(xs)
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// Geomean returns the geometric mean of the samples, the aggregation
+// the paper uses for all cross-application performance numbers.
+// Non-positive and non-finite values are ignored (they would poison
+// the log); no usable samples yield 0.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 && !math.IsInf(x, 0) { // NaN fails x > 0 on its own
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Of summarizes samples as mean ± 95% CI half-width using the
+// Student-t distribution (the sample counts here — windows per run,
+// seeds per chaos cell — are far too small for a normal
+// approximation). Non-finite samples are dropped before summarizing;
+// no usable samples yield the zero Stat, and a single sample yields a
+// zero-width interval.
+func Of(samples []float64) Stat {
+	samples = finite(samples)
+	n := len(samples)
+	if n == 0 {
+		return Stat{}
+	}
+	m := Mean(samples)
+	if n == 1 {
+		return Stat{Mean: m, N: 1}
+	}
+	sd := math.Sqrt(Variance(samples))
+	return Stat{Mean: m, CI95: TCrit(n-1) * sd / math.Sqrt(float64(n)), N: n}
+}
+
+// tTable holds the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (exact through df=30, then the standard coarse
+// rows; df <= 0 yields 0).
+func TCrit(df int) float64 {
+	switch {
+	case df <= 0:
+		return 0
+	case df <= len(tTable):
+		return tTable[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.96
+	}
+}

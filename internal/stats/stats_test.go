@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestOfKnownAnswers pins Of against hand-computed summaries,
+// including the n=1 and n=2 degenerate cases that dominate small
+// sweeps.
+func TestOfKnownAnswers(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		want    Stat
+		tol     float64
+	}{
+		{"nil", nil, Stat{}, 0},
+		{"empty", []float64{}, Stat{}, 0},
+		{"n=1", []float64{5}, Stat{Mean: 5, CI95: 0, N: 1}, 0},
+		// n=2: sd = |a-b|/sqrt(2), half-width = t(1)*sd/sqrt(2) = 12.706*|a-b|/2.
+		{"n=2", []float64{1, 3}, Stat{Mean: 2, CI95: 12.706, N: 2}, 1e-9},
+		// n=4: sd = sqrt(5/3), half-width = t(3)*sd/2 (the robust.go pin).
+		{"n=4", []float64{1, 2, 3, 4},
+			Stat{Mean: 2.5, CI95: 3.182 * math.Sqrt(5.0/3.0) / 2, N: 4}, 1e-9},
+		{"constant", []float64{7, 7, 7}, Stat{Mean: 7, CI95: 0, N: 3}, 1e-12},
+	}
+	for _, c := range cases {
+		s := Of(c.samples)
+		if s.N != c.want.N || !almost(s.Mean, c.want.Mean, c.tol) || !almost(s.CI95, c.want.CI95, c.tol) {
+			t.Errorf("%s: Of(%v) = %+v, want %+v", c.name, c.samples, s, c.want)
+		}
+	}
+}
+
+// TestOfRejectsNonFinite: NaN and ±Inf samples are dropped, never
+// propagated into the summary.
+func TestOfRejectsNonFinite(t *testing.T) {
+	s := Of([]float64{1, math.NaN(), 2, math.Inf(1), 3, math.Inf(-1), 4})
+	want := Of([]float64{1, 2, 3, 4})
+	if s != want {
+		t.Fatalf("Of with non-finite samples = %+v, want %+v", s, want)
+	}
+	if s := Of([]float64{math.NaN()}); s != (Stat{}) {
+		t.Fatalf("Of(all-NaN) = %+v, want zero", s)
+	}
+	if s := Of([]float64{math.Inf(1), math.NaN()}); s != (Stat{}) {
+		t.Fatalf("Of(all-non-finite) = %+v, want zero", s)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{2, 4, 9}); !almost(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if m := Mean([]float64{2, math.NaN(), 4}); !almost(m, 3, 1e-12) {
+		t.Fatalf("Mean with NaN = %v, want 3", m)
+	}
+	if v := Variance(nil); v != 0 {
+		t.Fatalf("Variance(nil) = %v", v)
+	}
+	if v := Variance([]float64{5}); v != 0 {
+		t.Fatalf("Variance(n=1) = %v, want 0", v)
+	}
+	// {1,2,3,4}: ss = 5, v = 5/3.
+	if v := Variance([]float64{1, 2, 3, 4}); !almost(v, 5.0/3.0, 1e-12) {
+		t.Fatalf("Variance = %v, want 5/3", v)
+	}
+	if v := Variance([]float64{1, 2, math.Inf(1), 3, 4}); !almost(v, 5.0/3.0, 1e-12) {
+		t.Fatalf("Variance with Inf = %v, want 5/3", v)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{2, 8}); !almost(g, 4, 1e-12) {
+		t.Fatalf("Geomean(2,8) = %v, want 4", g)
+	}
+	// Non-positive and non-finite values are skipped, not zeroing.
+	if g := Geomean([]float64{2, 0, -1, math.NaN(), math.Inf(1), 8}); !almost(g, 4, 1e-12) {
+		t.Fatalf("Geomean with junk = %v, want 4", g)
+	}
+	if g := Geomean([]float64{0, -3}); g != 0 {
+		t.Fatalf("Geomean(no positive) = %v, want 0", g)
+	}
+}
+
+// TestTCritTable pins the exact rows and the coarse tail of the
+// critical-value table (the robust.go known answers).
+func TestTCritTable(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{0, 0}, {-3, 0},
+		{1, 12.706}, {2, 4.303}, {3, 3.182}, {10, 2.228}, {30, 2.042},
+		{31, 2.021}, {40, 2.021}, {41, 2.000}, {60, 2.000},
+		{61, 1.980}, {120, 1.980}, {121, 1.96}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCrit(c.df); got != c.want {
+			t.Errorf("TCrit(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+func TestStatIntervalCovers(t *testing.T) {
+	s := Stat{Mean: 10, CI95: 2, N: 4}
+	lo, hi := s.Interval()
+	if lo != 8 || hi != 12 {
+		t.Fatalf("Interval = [%v, %v], want [8, 12]", lo, hi)
+	}
+	for _, c := range []struct {
+		x    float64
+		want bool
+	}{{8, true}, {10, true}, {12, true}, {7.999, false}, {12.001, false}, {math.NaN(), false}} {
+		if got := s.Covers(c.x); got != c.want {
+			t.Errorf("Covers(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	// A zero-width interval covers exactly its mean.
+	one := Of([]float64{5})
+	if !one.Covers(5) || one.Covers(5.0001) {
+		t.Fatalf("n=1 coverage broken: %+v", one)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"gpureach/internal/check"
 	"gpureach/internal/core"
 	"gpureach/internal/metrics"
+	"gpureach/internal/sample"
 	"gpureach/internal/sim"
 	"gpureach/internal/workloads"
 )
@@ -54,13 +55,15 @@ type Options struct {
 
 // RunResult is everything one simulation hands back to the engine: the
 // shared-system measurements, per-tenant outcomes for multi-app runs,
-// and the chaos-campaign summary when faults were injected. A failing
-// run still returns its Chaos outcome alongside the error — scored
-// terminal-failure rows keep their injector evidence.
+// the chaos-campaign summary when faults were injected, and the
+// sampling estimate for sampled runs. A failing run still returns its
+// Chaos outcome alongside the error — scored terminal-failure rows
+// keep their injector evidence.
 type RunResult struct {
 	Results core.Results
 	PerApp  []core.MultiAppResult
 	Chaos   *ChaosOutcome
+	Sampled *sample.Estimate
 }
 
 // ChaosOutcome summarizes the injected-fault side of one run: the
@@ -270,9 +273,17 @@ func executeWithRetry(run Run, digest string, runFn func(Run) (RunResult, error)
 		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		rec.PerApp = rr.PerApp
 		rec.Chaos = rr.Chaos
+		rec.Sampled = rr.Sampled
 		if err == nil {
 			rec.Results = rr.Results
 			rec.Metrics = resultRegistry(rr.Results)
+			if rr.Sampled != nil {
+				// The journal carries the confidence interval alongside
+				// every sampled point estimate.
+				rec.Metrics.Set("cycles_ci95", rr.Sampled.Cycles.CI95)
+				rec.Metrics.Set("walk_pki_ci95", rr.Sampled.WalkPKI.CI95)
+				rec.Metrics.Set("sample_windows_measured", float64(rr.Sampled.Cycles.N))
+			}
 			rec.Err, rec.ErrKind = "", ""
 			return rec
 		}
@@ -313,8 +324,17 @@ func ExecuteRun(run Run) (RunResult, error) {
 	sys := core.NewSystem(cfg)
 	inj := armChaos(sys, run)
 	kernels := w.Build(sys.Space, run.Scale)
+	var ctrl *sample.Controller
+	if sc := run.SampleConfig().Normalize(); sc.Enabled() {
+		ctrl = sys.ArmSampling(sc, kernels)
+	}
 	res, err := sys.Run(w.Name, kernels)
-	return RunResult{Results: res, Chaos: chaosOutcome(inj)}, err
+	rr := RunResult{Results: res, Chaos: chaosOutcome(inj)}
+	if ctrl != nil && err == nil {
+		rr.Sampled = ctrl.Estimate()
+		core.ApplyEstimate(&rr.Results, rr.Sampled)
+	}
+	return rr, err
 }
 
 // executeTenancy is the multi-tenant leg of ExecuteRun: the §7.2

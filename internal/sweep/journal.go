@@ -9,6 +9,7 @@ import (
 
 	"gpureach/internal/core"
 	"gpureach/internal/metrics"
+	"gpureach/internal/sample"
 )
 
 // Record is one completed (or terminally failed) run: what was asked
@@ -37,6 +38,12 @@ type Record struct {
 	// present on terminal failures too, so scored failure rows keep
 	// their injector evidence (schedule digest, counters, violations).
 	Chaos *ChaosOutcome `json:"chaos,omitempty"`
+	// Sampled carries the full sampling estimate of a sampled run —
+	// per-window measurements, mean ± 95% CI for CPI/IPC/walk rate,
+	// and the window/schedule digests — so the journal records the
+	// confidence interval next to the extrapolated point estimate in
+	// Results.Cycles.
+	Sampled *sample.Estimate `json:"sampled,omitempty"`
 	// Err is set when the run failed terminally (all attempts
 	// exhausted); failed records are journaled but never cached, so a
 	// resume retries them.

@@ -5,10 +5,10 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"math"
 	"strconv"
 
 	"gpureach/internal/metrics"
+	"gpureach/internal/stats"
 )
 
 // Robustness is the campaign's adversarial scorecard: for every
@@ -60,64 +60,17 @@ type RobustRow struct {
 	Terminal []string `json:"terminal,omitempty"`
 }
 
-// Stat is a sample mean with its 95% Student-t confidence half-width.
+// Stat is a sample mean with its 95% Student-t confidence half-width;
+// the machinery lives in internal/stats so the sampled-execution
+// estimator shares the exact same t-table and edge-case behaviour.
 // N=1 reports CI95 0 (no spread is estimable from one trial); N=0 is
 // the zero Stat.
-type Stat struct {
-	Mean float64 `json:"mean"`
-	CI95 float64 `json:"ci95"`
-	N    int     `json:"n"`
-}
-
-// tCrit returns the two-sided 95% Student-t critical value for df
-// degrees of freedom (exact to df=30, then the standard coarse rows,
-// asymptoting to the normal 1.96).
-func tCrit(df int) float64 {
-	table := [...]float64{
-		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
-	}
-	switch {
-	case df <= 0:
-		return 0
-	case df <= len(table):
-		return table[df-1]
-	case df <= 40:
-		return 2.021
-	case df <= 60:
-		return 2.000
-	case df <= 120:
-		return 1.980
-	default:
-		return 1.96
-	}
-}
+type Stat = stats.Stat
 
 // statOf reduces samples (in deterministic trial order) to mean ±
 // t-interval. The accumulation order is the caller's slice order,
 // never a map range, so the float sums are reproducible.
-func statOf(samples []float64) Stat {
-	n := len(samples)
-	if n == 0 {
-		return Stat{}
-	}
-	sum := 0.0
-	for _, v := range samples {
-		sum += v
-	}
-	mean := sum / float64(n)
-	if n == 1 {
-		return Stat{Mean: mean, N: 1}
-	}
-	ss := 0.0
-	for _, v := range samples {
-		d := v - mean
-		ss += d * d
-	}
-	sd := math.Sqrt(ss / float64(n-1))
-	return Stat{Mean: mean, CI95: tCrit(n-1) * sd / math.Sqrt(float64(n)), N: n}
-}
+func statOf(samples []float64) Stat { return stats.Of(samples) }
 
 // Robustness builds the scorecard from the campaign's records. Rows
 // appear in spec order (L2-TLB × page size × app-axis unit × scheme ×

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gpureach/internal/sim"
+	"gpureach/internal/stats"
 )
 
 // TestBackoffScheduleExact pins the retry backoff: base delay doubling
@@ -201,6 +202,9 @@ func TestRobustnessByteIdenticalAcrossProcs(t *testing.T) {
 	}
 }
 
+// TestStatOfStudentT keeps the scorecard's original known answers as a
+// pin on the extracted internal/stats machinery (whose own tests cover
+// the full table): the alias and delegation must not drift.
 func TestStatOfStudentT(t *testing.T) {
 	if s := statOf(nil); s != (Stat{}) {
 		t.Fatalf("statOf(nil) = %+v, want zero", s)
@@ -217,7 +221,7 @@ func TestStatOfStudentT(t *testing.T) {
 	if math.Abs(s.CI95-want) > 1e-9 {
 		t.Fatalf("ci95 = %v, want %v", s.CI95, want)
 	}
-	if tCrit(1) != 12.706 || tCrit(30) != 2.042 || tCrit(1000) != 1.96 {
-		t.Fatalf("t table lookup broken: %v %v %v", tCrit(1), tCrit(30), tCrit(1000))
+	if stats.TCrit(1) != 12.706 || stats.TCrit(30) != 2.042 || stats.TCrit(1000) != 1.96 {
+		t.Fatalf("t table lookup broken: %v %v %v", stats.TCrit(1), stats.TCrit(30), stats.TCrit(1000))
 	}
 }

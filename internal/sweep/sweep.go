@@ -20,6 +20,7 @@ import (
 
 	"gpureach/internal/chaos"
 	"gpureach/internal/core"
+	"gpureach/internal/sample"
 	"gpureach/internal/workloads"
 )
 
@@ -55,6 +56,26 @@ type Spec struct {
 	// Ignored when ChaosSeeds is set, and meaningless without a
 	// non-zero rate (the fault-free cell is one deterministic run).
 	Trials int `json:"trials,omitempty"`
+	// SampleWindows > 0 switches every run of the campaign to sampled
+	// execution (internal/sample) with that many measurement windows:
+	// cycle counts in the journal and aggregates become extrapolated
+	// estimates, with the full per-window Estimate (mean ± 95% CI)
+	// journaled alongside. Sampling composes with neither chaos
+	// injection (faults target timed machinery that fast-forward skips)
+	// nor tenancy mixes (windows are scheduled over a single
+	// launch sequence) — Validate rejects both combinations.
+	SampleWindows int `json:"sample_windows,omitempty"`
+	// SampleDetailFrac is the detailed fraction of each window;
+	// Normalize fills sample.DefaultDetailFrac when unset.
+	SampleDetailFrac float64 `json:"sample_detail_frac,omitempty"`
+	// SampleSeed jitters the window schedule.
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
+}
+
+// SampleConfig assembles the spec's sampling axis as the sample
+// package's config type.
+func (s Spec) SampleConfig() sample.Config {
+	return sample.Config{Windows: s.SampleWindows, DetailFrac: s.SampleDetailFrac, Seed: s.SampleSeed}
 }
 
 // Normalize returns the spec with defaults filled in: all apps if
@@ -98,6 +119,10 @@ func (s Spec) Normalize() Spec {
 		}
 	}
 	n.ChaosRates = rates
+	if n.SampleWindows > 0 {
+		sc := n.SampleConfig().Normalize()
+		n.SampleDetailFrac = sc.DetailFrac
+	}
 	if len(rates) > 1 && len(n.ChaosSeeds) == 0 {
 		trials := n.Trials
 		if trials <= 0 {
@@ -223,6 +248,17 @@ func (s Spec) Validate() error {
 	if s.Trials < 0 {
 		return fmt.Errorf("sweep spec: negative trials %d", s.Trials)
 	}
+	if err := s.SampleConfig().Validate(); err != nil {
+		return fmt.Errorf("sweep spec: %w", err)
+	}
+	if s.SampleWindows > 0 {
+		if hasChaos {
+			return fmt.Errorf("sweep spec: sampling and chaos injection are mutually exclusive (faults target timed machinery that fast-forward skips)")
+		}
+		if len(s.Tenancy) > 0 {
+			return fmt.Errorf("sweep spec: sampling and tenancy mixes are mutually exclusive (windows are scheduled over a single launch sequence)")
+		}
+	}
 	return nil
 }
 
@@ -244,6 +280,9 @@ func (s Spec) Expand() []Run {
 							Scheme: scheme, Scale: s.Scale,
 							L2TLB: l2, PageSize: ps,
 							ChaosSeed: cell.seed, ChaosRate: cell.rate,
+							SampleWindows:    s.SampleWindows,
+							SampleDetailFrac: s.SampleDetailFrac,
+							SampleSeed:       s.SampleSeed,
 						})
 					}
 				}
@@ -270,6 +309,18 @@ type Run struct {
 	PageSize  string  `json:"pagesize"`
 	ChaosSeed uint64  `json:"chaos_seed,omitempty"`
 	ChaosRate float64 `json:"chaos_rate,omitempty"`
+	// SampleWindows/SampleDetailFrac/SampleSeed select sampled
+	// execution for this run (0 windows = full detail). Scalar fields,
+	// not a nested struct, so Run stays comparable — the resume and
+	// robustness indexes use Run values as map keys.
+	SampleWindows    int     `json:"sample_windows,omitempty"`
+	SampleDetailFrac float64 `json:"sample_detail_frac,omitempty"`
+	SampleSeed       uint64  `json:"sample_seed,omitempty"`
+}
+
+// SampleConfig assembles the run's sampling coordinate.
+func (r Run) SampleConfig() sample.Config {
+	return sample.Config{Windows: r.SampleWindows, DetailFrac: r.SampleDetailFrac, Seed: r.SampleSeed}
 }
 
 // Config materializes the core configuration for this run.
@@ -313,6 +364,15 @@ func (r Run) Canonical() string {
 	if r.Tenants != "" {
 		fmt.Fprintf(&b, "run.Tenants=%s\n", r.Tenants)
 	}
+	// Same rule for the sampling coordinate: a sampled run's estimate
+	// must never be served from (or overwrite) the full-detail cache
+	// slot, and full-detail digests predating the sampling dimension
+	// stay valid.
+	if r.SampleWindows > 0 {
+		fmt.Fprintf(&b, "run.SampleWindows=%d\n", r.SampleWindows)
+		fmt.Fprintf(&b, "run.SampleDetailFrac=%v\n", r.SampleDetailFrac)
+		fmt.Fprintf(&b, "run.SampleSeed=%d\n", r.SampleSeed)
+	}
 	return b.String()
 }
 
@@ -337,6 +397,9 @@ func (r Run) String() string {
 	s := fmt.Sprintf("%s/%s l2tlb=%d page=%s scale=%g", app, r.Scheme, r.L2TLB, r.PageSize, r.Scale)
 	if r.ChaosSeed != 0 {
 		s += fmt.Sprintf(" chaos=%d@%g", r.ChaosSeed, r.ChaosRate)
+	}
+	if r.SampleWindows > 0 {
+		s += " sampled " + r.SampleConfig().String()
 	}
 	return s
 }

@@ -548,3 +548,119 @@ func TestCacheFilesAreByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// sampledSpec is the sampled counterpart of testSpec: the same small
+// matrix on a single L2-TLB size, executed in sampled mode.
+func sampledSpec() Spec {
+	return Spec{
+		Apps:          []string{"GUPS", "SRAD"},
+		Schemes:       []string{"lds", "ic+lds"},
+		Scale:         0.05,
+		SampleWindows: 6, SampleDetailFrac: 0.25, SampleSeed: 1,
+	}
+}
+
+func TestSampledSpecNormalizeAndValidate(t *testing.T) {
+	// Normalize fills the default detail fraction.
+	n := Spec{SampleWindows: 4}.Normalize()
+	if n.SampleDetailFrac == 0 {
+		t.Fatal("Normalize left the sampled detail fraction unset")
+	}
+	// Sampling composes with neither chaos nor tenancy.
+	bad := Spec{SampleWindows: 4, ChaosRates: []float64{0.01}}.Normalize()
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("sampling+chaos validated: %v", err)
+	}
+	bad = Spec{SampleWindows: 4, Tenancy: []string{"MVT+SRAD"}}.Normalize()
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "tenancy") {
+		t.Fatalf("sampling+tenancy validated: %v", err)
+	}
+	bad = Spec{SampleWindows: 4, SampleDetailFrac: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("detail fraction 1.5 validated")
+	}
+}
+
+// TestSampledDigestSeparatesFromFullDetail pins the cache-keying rule:
+// a sampled run must digest differently from the same run at full
+// detail and from the same run at another sampling coordinate, while
+// an unsampled Run's digest is untouched by the fields existing.
+func TestSampledDigestSeparatesFromFullDetail(t *testing.T) {
+	full := Run{App: "GUPS", Scheme: "lds", Scale: 0.05, L2TLB: 512, PageSize: "4K"}
+	samp := full
+	samp.SampleWindows, samp.SampleDetailFrac, samp.SampleSeed = 6, 0.25, 1
+	if full.Digest() == samp.Digest() {
+		t.Fatal("sampled run shares the full-detail cache digest")
+	}
+	reseed := samp
+	reseed.SampleSeed = 2
+	if samp.Digest() == reseed.Digest() {
+		t.Fatal("different sampling seeds share a cache digest")
+	}
+	if !strings.Contains(samp.String(), "sampled windows=6") {
+		t.Fatalf("sampled run label missing sampling coordinate: %s", samp)
+	}
+}
+
+// TestSampledCampaignDeterministicAndCached runs the sampled matrix at
+// procs 1 and 4: estimates, window digests and aggregates must be
+// byte-identical, every record must journal its CI alongside the point
+// estimate, and a second campaign over the same dir must be served
+// entirely from cache with the estimates intact.
+func TestSampledCampaignDeterministicAndCached(t *testing.T) {
+	dir := t.TempDir()
+	serial, err := Execute(sampledSpec(), Options{Procs: 1})
+	if err != nil {
+		t.Fatalf("serial campaign: %v", err)
+	}
+	par, err := Execute(sampledSpec(), Options{Procs: 4, OutDir: dir})
+	if err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+	for i := range serial.Records {
+		s, p := serial.Records[i], par.Records[i]
+		if s.Sampled == nil || p.Sampled == nil {
+			t.Fatalf("record %d missing sampling estimate", i)
+		}
+		if s.Sampled.Digest != p.Sampled.Digest || s.Sampled.ScheduleDigest != p.Sampled.ScheduleDigest {
+			t.Errorf("record %d window digests differ across procs: %s/%s vs %s/%s",
+				i, s.Sampled.Digest, s.Sampled.ScheduleDigest, p.Sampled.Digest, p.Sampled.ScheduleDigest)
+		}
+		if s.Results.Cycles != p.Results.Cycles {
+			t.Errorf("record %d extrapolated cycles differ: %d vs %d", i, s.Results.Cycles, p.Results.Cycles)
+		}
+		if v := s.Metrics.Get("cycles_ci95"); v != s.Sampled.Cycles.CI95 {
+			t.Errorf("record %d journals cycles_ci95=%v, estimate says %v", i, v, s.Sampled.Cycles.CI95)
+		}
+	}
+	sj, _ := serial.Aggregate().JSON()
+	pj, _ := par.Aggregate().JSON()
+	if !bytes.Equal(sj, pj) {
+		t.Fatal("sampled aggregate JSON differs between procs=1 and procs=4")
+	}
+
+	cached, err := Execute(sampledSpec(), Options{Procs: 4, OutDir: dir})
+	if err != nil {
+		t.Fatalf("cached campaign: %v", err)
+	}
+	if cached.Stats.Executed != 0 || cached.Stats.CacheHits != cached.Stats.Total {
+		t.Fatalf("second sampled campaign not fully cached: %+v", cached.Stats)
+	}
+	for i, rec := range cached.Records {
+		if rec.Sampled == nil || rec.Sampled.Digest != par.Records[i].Sampled.Digest {
+			t.Fatalf("record %d lost its sampling estimate through the cache", i)
+		}
+	}
+
+	// A different sampling seed is a different campaign: nothing may be
+	// served from the first seed's cache slots.
+	other := sampledSpec()
+	other.SampleSeed = 2
+	reseed, err := Execute(other, Options{Procs: 4, OutDir: dir})
+	if err != nil {
+		t.Fatalf("reseeded campaign: %v", err)
+	}
+	if reseed.Stats.CacheHits != 0 || reseed.Stats.Executed != reseed.Stats.Total {
+		t.Fatalf("reseeded sampled campaign hit the old cache: %+v", reseed.Stats)
+	}
+}

@@ -34,13 +34,14 @@ func MakeKey(space vm.SpaceID, vpn vm.VPN) Key {
 // VPN extracts the page number back out of a key.
 func (k Key) VPN() vm.VPN { return vm.VPN(k >> 4) }
 
-type way struct {
-	// key caches entry.Key() so the per-way probe compare is one
-	// uint64 against a stored field instead of a recomputation.
-	key   Key
-	entry Entry
-	valid bool
-	stamp uint64
+// Space extracts the address-space tags back out of a key. Exact
+// because VM-ID and VRF-ID are 2-bit architectural fields.
+func (k Key) Space() vm.SpaceID { return vm.UnpackSpaceID(uint8(k & 15)) }
+
+// Entry reconstructs the full cached translation from a key and the
+// stored frame number — the inverse of Entry.Key plus payload.
+func (k Key) Entry(pfn vm.PFN) Entry {
+	return Entry{Space: k.Space(), VPN: k.VPN(), PFN: pfn}
 }
 
 // Stats counts TLB events.
@@ -63,10 +64,22 @@ func (s Stats) HitRate() float64 {
 
 // TLB is a set-associative translation cache with true-LRU replacement.
 // sets == 1 gives a fully-associative structure.
+//
+// Ways are stored as parallel per-field arrays (set s occupies index
+// range [s*ways, (s+1)*ways) in each), not an array of way structs: a
+// fully-associative lookup is a linear probe over every way's key, and
+// scanning a dense key array touches an eighth of the memory the
+// struct-per-way layout did. The stamp array doubles as the valid
+// marker — stamp 0 means the way is empty (the LRU clock starts at 1),
+// so the probe and the LRU scan each read exactly one array. Only the
+// frame number is stored per way: the rest of an Entry is its key
+// (Key.Entry reconstructs it exactly), so fills and evictions move 8
+// bytes of payload instead of 24.
 type TLB struct {
-	name string
-	// arr holds all sets contiguously: set s is arr[s*ways:(s+1)*ways].
-	arr     []way
+	name    string
+	keys    []Key
+	pfns    []vm.PFN
+	stamps  []uint64
 	ways    int
 	numSets uint64
 	clock   uint64
@@ -80,32 +93,39 @@ func New(name string, entries, ways int) *TLB {
 		panic(fmt.Sprintf("tlb: bad geometry entries=%d ways=%d", entries, ways))
 	}
 	numSets := entries / ways
-	return &TLB{name: name, ways: ways, numSets: uint64(numSets), arr: make([]way, entries)}
+	return &TLB{
+		name:    name,
+		ways:    ways,
+		numSets: uint64(numSets),
+		keys:    make([]Key, entries),
+		pfns:    make([]vm.PFN, entries),
+		stamps:  make([]uint64, entries),
+	}
 }
 
 // Name returns the TLB's diagnostic name.
 func (t *TLB) Name() string { return t.name }
 
 // Entries returns total capacity.
-func (t *TLB) Entries() int { return len(t.arr) }
+func (t *TLB) Entries() int { return len(t.keys) }
 
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
 
-func (t *TLB) set(k Key) []way {
-	s := uint64(k.VPN()) % t.numSets
-	return t.arr[s*uint64(t.ways) : (s+1)*uint64(t.ways)]
+// base returns the first way index of key's set.
+func (t *TLB) base(k Key) int {
+	return int(uint64(k.VPN()) % t.numSets * uint64(t.ways))
 }
 
 // Lookup searches for key; on a hit the entry becomes MRU.
 func (t *TLB) Lookup(key Key) (Entry, bool) {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
+	b := t.base(key)
+	for i := b; i < b+t.ways; i++ {
+		if t.keys[i] == key && t.stamps[i] != 0 {
 			t.clock++
-			set[i].stamp = t.clock
+			t.stamps[i] = t.clock
 			t.stats.Hits++
-			return set[i].entry, true
+			return key.Entry(t.pfns[i]), true
 		}
 	}
 	t.stats.Misses++
@@ -115,10 +135,10 @@ func (t *TLB) Lookup(key Key) (Entry, bool) {
 // Probe is Lookup without touching LRU state or counters — used by
 // sharing analyses (Fig 14a) and tests.
 func (t *TLB) Probe(key Key) (Entry, bool) {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			return set[i].entry, true
+	b := t.base(key)
+	for i := b; i < b+t.ways; i++ {
+		if t.keys[i] == key && t.stamps[i] != 0 {
+			return key.Entry(t.pfns[i]), true
 		}
 	}
 	return Entry{}, false
@@ -133,33 +153,38 @@ func (t *TLB) Probe(key Key) (Entry, bool) {
 // three-scan version used (refresh > free fill > eviction).
 func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 	key := e.Key()
-	set := t.set(key)
+	b := t.base(key)
 	t.clock++
-	free, lru := -1, 0
-	for i := range set {
-		if set[i].valid {
-			if set[i].key == key {
-				// Refresh on re-insert.
-				set[i].entry = e
-				set[i].stamp = t.clock
-				return Entry{}, false
-			}
-			if set[i].stamp < set[lru].stamp {
-				lru = i
+	free, lru := -1, b
+	for i := b; i < b+t.ways; i++ {
+		s := t.stamps[i]
+		if s == 0 {
+			if free < 0 {
+				free = i
 			}
 			continue
 		}
-		if free < 0 {
-			free = i
+		if t.keys[i] == key {
+			// Refresh on re-insert.
+			t.pfns[i] = e.PFN
+			t.stamps[i] = t.clock
+			return Entry{}, false
+		}
+		if s < t.stamps[lru] {
+			lru = i
 		}
 	}
 	if free >= 0 {
-		set[free] = way{key: key, entry: e, valid: true, stamp: t.clock}
+		t.keys[free] = key
+		t.pfns[free] = e.PFN
+		t.stamps[free] = t.clock
 		t.stats.Fills++
 		return Entry{}, false
 	}
-	victim = set[lru].entry
-	set[lru] = way{key: key, entry: e, valid: true, stamp: t.clock}
+	victim = t.keys[lru].Entry(t.pfns[lru])
+	t.keys[lru] = key
+	t.pfns[lru] = e.PFN
+	t.stamps[lru] = t.clock
 	t.stats.Fills++
 	t.stats.Evictions++
 	return victim, true
@@ -168,10 +193,10 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 // Invalidate removes key if present (TLB shootdown, §7.1) and reports
 // whether an entry was removed.
 func (t *TLB) Invalidate(key Key) bool {
-	set := t.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			set[i].valid = false
+	b := t.base(key)
+	for i := b; i < b+t.ways; i++ {
+		if t.keys[i] == key && t.stamps[i] != 0 {
+			t.stamps[i] = 0
 			t.stats.Shootdowns++
 			return true
 		}
@@ -181,16 +206,16 @@ func (t *TLB) Invalidate(key Key) bool {
 
 // Flush invalidates everything.
 func (t *TLB) Flush() {
-	for i := range t.arr {
-		t.arr[i].valid = false
+	for i := range t.stamps {
+		t.stamps[i] = 0
 	}
 }
 
 // Occupied returns the number of valid entries.
 func (t *TLB) Occupied() int {
 	n := 0
-	for i := range t.arr {
-		if t.arr[i].valid {
+	for i := range t.stamps {
+		if t.stamps[i] != 0 {
 			n++
 		}
 	}
@@ -199,9 +224,9 @@ func (t *TLB) Occupied() int {
 
 // ForEach calls fn for every valid entry (iteration order unspecified).
 func (t *TLB) ForEach(fn func(Entry)) {
-	for i := range t.arr {
-		if t.arr[i].valid {
-			fn(t.arr[i].entry)
+	for i := range t.stamps {
+		if t.stamps[i] != 0 {
+			fn(t.keys[i].Entry(t.pfns[i]))
 		}
 	}
 }

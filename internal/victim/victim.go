@@ -204,6 +204,43 @@ func l2WalkDone(x any, e tlb.Entry) {
 // of the Figure 12 fill flows).
 func (l *L2TLB) Insert(e tlb.Entry) { l.TLB.Insert(e) }
 
+// WarmTranslate is the functional-warming form of Translate used by
+// sampled execution's fast-forward mode: the same L2-TLB → DUCATI →
+// IOMMU resolution order with identical array transitions and
+// counters (TLB LRU and fills, DucatiHits, PageWalksStarted), but
+// synchronous — no ports, coalescing or events. Perfect mode installs
+// the fabricated entry exactly as the detailed path does, minus the
+// service-variance jitter that only matters when time passes.
+func (l *L2TLB) WarmTranslate(space *vm.AddrSpace, vpn vm.VPN) tlb.Entry {
+	key := tlb.MakeKey(space.ID, vpn)
+	if e, ok := l.TLB.Lookup(key); ok {
+		return e
+	}
+	if l.Perfect {
+		pfn, ok := space.PageTable().Lookup(vpn)
+		if !ok {
+			l.Eng.Failf(sim.ErrPageFault, "victim: perfect L2 TLB saw unmapped page %s vpn=%#x", space.ID, vpn)
+		}
+		e := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
+		l.TLB.Insert(e)
+		return e
+	}
+	if l.Ducati != nil {
+		if e, ok := l.Ducati.WarmLookup(key); ok {
+			l.DucatiHits++
+			l.TLB.Insert(e)
+			return e
+		}
+	}
+	l.PageWalksStarted++
+	e := l.IOMMU.WarmTranslate(space, vpn)
+	l.TLB.Insert(e)
+	if l.Ducati != nil {
+		l.Ducati.WarmFill(e)
+	}
+	return e
+}
+
 // Stats of the victim path of one CU.
 type Stats struct {
 	Lookups   uint64
@@ -409,6 +446,60 @@ func (p *Path) lookupL2(r *pathReq) {
 	space, vpn, h, hctx := r.space, r.vpn, r.h, r.hctx
 	p.put(r)
 	p.L2.TranslateEvent(space, vpn, h, hctx)
+}
+
+// WarmTranslate is the functional-warming form of TranslateEvent used
+// by sampled execution's fast-forward mode: the same LDS → I-cache →
+// L2 lookup order with identical victim-structure transitions and
+// counters, via the port-free WarmTxLookup probes (fast-forward
+// consumes no time, so port grants would only distort the utilization
+// series). Because no time passes between issue and delivery, nothing
+// can be invalidated mid-flight here: MidflightInvalidated is a
+// detailed-mode-only hazard by construction.
+func (p *Path) WarmTranslate(space *vm.AddrSpace, vpn vm.VPN) tlb.Entry {
+	p.stats.Lookups++
+	key := tlb.MakeKey(space.ID, vpn)
+	if p.PrefetchNext {
+		p.warmPrefetch(space, vpn+1)
+	}
+	if p.LDS != nil {
+		if e, hit := p.LDS.WarmTxLookup(key); hit {
+			p.stats.LDSHits++
+			return e
+		}
+	}
+	if p.IC != nil {
+		if e, hit := p.IC.WarmTxLookup(key); hit {
+			p.stats.ICHits++
+			return e
+		}
+	}
+	p.stats.L2Reached++
+	return p.L2.WarmTranslate(space, vpn)
+}
+
+// warmPrefetch mirrors prefetch for fast-forward mode: same squash
+// checks and counters, with the translation resolved synchronously.
+func (p *Path) warmPrefetch(space *vm.AddrSpace, vpn vm.VPN) {
+	if _, ok := space.PageTable().Lookup(vpn); !ok {
+		p.stats.PrefetchesUseless++ // would fault: squash
+		return
+	}
+	key := tlb.MakeKey(space.ID, vpn)
+	if p.LDS != nil {
+		if _, hit := p.LDS.WarmTxLookup(key); hit {
+			p.stats.PrefetchesUseless++
+			return
+		}
+	}
+	if p.IC != nil {
+		if _, hit := p.IC.WarmTxLookup(key); hit {
+			p.stats.PrefetchesUseless++
+			return
+		}
+	}
+	p.stats.PrefetchesIssued++
+	p.install(p.L2.WarmTranslate(space, vpn))
 }
 
 // FillVictim runs the Figure 12 fill flow for an entry evicted from the

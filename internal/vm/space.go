@@ -14,6 +14,12 @@ type SpaceID struct {
 // tags.
 func (id SpaceID) Pack() uint8 { return id.VMID&3<<2 | id.VRF&3 }
 
+// UnpackSpaceID inverts Pack. Because VM-ID and VRF-ID are
+// architecturally 2-bit fields (every SpaceID the system creates fits
+// them), Pack/Unpack round-trip exactly; translation structures rely
+// on this to store a tag as its packed key alone.
+func UnpackSpaceID(p uint8) SpaceID { return SpaceID{VMID: p >> 2 & 3, VRF: p & 3} }
+
 func (id SpaceID) String() string { return fmt.Sprintf("vm%d.vf%d", id.VMID&3, id.VRF&3) }
 
 // Buffer is a named virtual allocation inside an address space, the unit

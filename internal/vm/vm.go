@@ -153,25 +153,27 @@ func (pt *PageTable) Mapped() uint64 { return pt.mapped }
 // levelIndices splits a VPN into per-level radix indices. The leaf level
 // depends on the page size: larger pages consume fewer low-order bits,
 // so indexing starts from the top of the 48-bit space in 9-bit strides
-// down to the leaf.
-func (pt *PageTable) levelIndices(vpn VPN) []int {
+// down to the leaf. The fixed-size return keeps the split off the heap:
+// warming translates millions of VPNs through here with no events to
+// amortize an allocation against.
+func (pt *PageTable) levelIndices(vpn VPN) ([4]int, int) {
 	levels := pt.pageSize.WalkLevels()
 	va := uint64(vpn) << pt.pageSize.Bits()
-	idx := make([]int, levels)
+	var idx [4]int
 	shift := uint(vaBits - levelBits) // top level
 	for i := 0; i < levels; i++ {
 		idx[i] = int((va >> shift) & (entriesPerPT - 1))
 		shift -= levelBits
 	}
-	return idx
+	return idx, levels
 }
 
 // Map installs vpn→pfn, creating intermediate nodes as needed.
 // Remapping an existing VPN overwrites it.
 func (pt *PageTable) Map(vpn VPN, pfn PFN) {
-	idx := pt.levelIndices(vpn)
+	idx, levels := pt.levelIndices(vpn)
 	n := pt.root
-	for _, i := range idx[:len(idx)-1] {
+	for _, i := range idx[:levels-1] {
 		child := n.children[i]
 		if child == nil {
 			child = &ptNode{pa: pt.alloc.AllocNode()}
@@ -179,7 +181,7 @@ func (pt *PageTable) Map(vpn VPN, pfn PFN) {
 		}
 		n = child
 	}
-	li := idx[len(idx)-1]
+	li := idx[levels-1]
 	if !n.leaves[li].valid {
 		pt.mapped++
 	}
@@ -189,14 +191,14 @@ func (pt *PageTable) Map(vpn VPN, pfn PFN) {
 // Unmap removes the mapping for vpn and reports whether it existed.
 // Used by TLB-shootdown experiments (§7.1).
 func (pt *PageTable) Unmap(vpn VPN) bool {
-	idx := pt.levelIndices(vpn)
+	idx, levels := pt.levelIndices(vpn)
 	n := pt.root
-	for _, i := range idx[:len(idx)-1] {
+	for _, i := range idx[:levels-1] {
 		if n = n.children[i]; n == nil {
 			return false
 		}
 	}
-	li := idx[len(idx)-1]
+	li := idx[levels-1]
 	if !n.leaves[li].valid {
 		return false
 	}
@@ -220,12 +222,12 @@ type Walk struct {
 
 // Walk traverses the table for vpn, recording the entry addresses read.
 func (pt *PageTable) Walk(vpn VPN) Walk {
-	idx := pt.levelIndices(vpn)
+	idx, levels := pt.levelIndices(vpn)
 	var w Walk
 	n := pt.root
-	for d, i := range idx {
+	for d, i := range idx[:levels] {
 		w.Steps = append(w.Steps, n.pa+PA(i*8))
-		last := d == len(idx)-1
+		last := d == levels-1
 		if last {
 			lf := n.leaves[i]
 			w.PFN, w.OK = lf.pfn, lf.valid
@@ -243,21 +245,29 @@ func (pt *PageTable) Walk(vpn VPN) Walk {
 // a PGD cache entry keys on level 1, PUD on 2, PMD on 3 (cf. Table 1's
 // PGD/PUD/PMD caches).
 func (pt *PageTable) PrefixKey(vpn VPN, level int) uint64 {
-	idx := pt.levelIndices(vpn)
-	if level > len(idx) {
-		level = len(idx)
+	if levels := pt.pageSize.WalkLevels(); level > levels {
+		level = levels
 	}
-	key := uint64(0)
-	for i := 0; i < level; i++ {
-		key = key<<levelBits | uint64(idx[i])
-	}
+	// The per-level radix indices are consecutive 9-bit groups taken
+	// from the top of the 48-bit space, so their concatenation is just
+	// the VA's top level×9 bits — no need to split and re-fold.
+	va := uint64(vpn) << pt.pageSize.Bits()
+	key := va >> (uint(vaBits) - uint(level)*levelBits)
 	return key<<4 | uint64(level)
 }
 
 // Lookup translates vpn without recording walk steps. It is the
 // functional (zero-latency) view used by tests and by structures that
-// need the mapping but not the timing.
+// need the mapping but not the timing. Unlike Walk it never allocates,
+// so it is also the fast path warming leans on.
 func (pt *PageTable) Lookup(vpn VPN) (PFN, bool) {
-	w := pt.Walk(vpn)
-	return w.PFN, w.OK
+	idx, levels := pt.levelIndices(vpn)
+	n := pt.root
+	for _, i := range idx[:levels-1] {
+		if n = n.children[i]; n == nil {
+			return 0, false
+		}
+	}
+	lf := n.leaves[idx[levels-1]]
+	return lf.pfn, lf.valid
 }

@@ -56,46 +56,62 @@ type Stats struct {
 	StalledWalks uint64
 }
 
-// pwc is a tiny fully-associative page-walk cache over prefix keys.
+// pwc is a tiny fully-associative page-walk cache over prefix keys with
+// true-LRU replacement, stored as parallel key/stamp arrays (stamp 0
+// means the slot is empty; the clock starts at 1). At 4–32 entries a
+// linear scan is an order of magnitude cheaper than the map this used
+// to be, and both the detailed walkers and fast-forward warming probe
+// these caches on every walk. Stamps are unique, so the min-stamp
+// eviction is exactly the map version's LRU choice.
 type pwc struct {
-	entries int
-	stamps  map[uint64]uint64
-	clock   uint64
-	hits    uint64
+	keys   []uint64
+	stamps []uint64
+	clock  uint64
+	hits   uint64
 }
 
 func newPWC(entries int) *pwc {
-	return &pwc{entries: entries, stamps: make(map[uint64]uint64)}
+	return &pwc{keys: make([]uint64, entries), stamps: make([]uint64, entries)}
 }
 
 func (p *pwc) probe(key uint64) bool {
-	if _, ok := p.stamps[key]; ok {
-		p.clock++
-		p.stamps[key] = p.clock
-		p.hits++
-		return true
+	for i, s := range p.stamps {
+		if s != 0 && p.keys[i] == key {
+			p.clock++
+			p.stamps[i] = p.clock
+			p.hits++
+			return true
+		}
 	}
 	return false
 }
 
 func (p *pwc) fill(key uint64) {
-	p.clock++
-	if _, ok := p.stamps[key]; ok {
-		p.stamps[key] = p.clock
+	if len(p.keys) == 0 {
 		return
 	}
-	if len(p.stamps) >= p.entries {
-		var lruKey uint64
-		lru := uint64(1<<63 - 1)
-		for k, s := range p.stamps {
-			if s < lru {
-				lru = s
-				lruKey = k
+	p.clock++
+	free, lru := -1, 0
+	for i, s := range p.stamps {
+		if s == 0 {
+			if free < 0 {
+				free = i
 			}
+			continue
 		}
-		delete(p.stamps, lruKey)
+		if p.keys[i] == key {
+			p.stamps[i] = p.clock // refresh on re-fill
+			return
+		}
+		if s < p.stamps[lru] {
+			lru = i
+		}
 	}
-	p.stamps[key] = p.clock
+	if free >= 0 {
+		lru = free
+	}
+	p.keys[lru] = key
+	p.stamps[lru] = p.clock
 }
 
 // walkReq is the pooled context of one translation request, reused
@@ -362,6 +378,63 @@ func (io *IOMMU) finishWalk(r *walkReq) {
 	io.put(r)
 	io.coal.Complete(key, entry)
 	io.releaseWalker()
+}
+
+// WarmTranslate is the functional-warming form of Translate used by
+// sampled execution's fast-forward mode: the complete device-TLB →
+// PWC → page-table resolution with every state transition and counter
+// of the detailed path (TLB LRU touches and fills, PWC probes and
+// fills, Walks/WalkSteps/PWCMiss accounting), but synchronously and
+// with no memory traffic, queueing or stall windows. Requests are not
+// coalesced — fast-forward resolves one page at a time — so
+// MergedWalks stays a detailed-mode-only statistic. A page fault
+// still fails the run: warming must not paper over workload bugs.
+func (io *IOMMU) WarmTranslate(space *vm.AddrSpace, vpn vm.VPN) tlb.Entry {
+	io.stats.Requests++
+	key := tlb.MakeKey(space.ID, vpn)
+	if e, ok := io.l1.Lookup(key); ok {
+		io.stats.DevTLBHits++
+		return e
+	}
+	if e, ok := io.l2.Lookup(key); ok {
+		io.stats.DevTLBHits++
+		io.l1.Insert(e)
+		return e
+	}
+	io.stats.Walks++
+	pt := space.PageTable()
+	// Lookup + WalkLevels replaces the detailed path's pt.Walk: a
+	// successful walk always reads one entry per level, and warming has
+	// no walker to feed the step addresses to, so the Steps allocation
+	// would be pure garbage on the hottest fast-forward path.
+	pfn, ok := pt.Lookup(vpn)
+	if !ok {
+		io.eng.Failf(sim.ErrPageFault, "walker: page fault for %s vpn=%#x — workloads must touch only allocated buffers", space.ID, vpn)
+	}
+	levels := space.PageSize().WalkLevels()
+	startIdx := 0
+	switch {
+	case levels >= 4 && io.pmd.probe(pt.PrefixKey(vpn, 3)):
+		startIdx = 3
+	case levels >= 3 && io.pud.probe(pt.PrefixKey(vpn, 2)):
+		startIdx = 2
+	case io.pgd.probe(pt.PrefixKey(vpn, 1)):
+		startIdx = 1
+	default:
+		io.stats.PWCMiss++
+	}
+	io.stats.WalkSteps += uint64(levels - startIdx)
+	io.pgd.fill(pt.PrefixKey(vpn, 1))
+	if levels >= 3 {
+		io.pud.fill(pt.PrefixKey(vpn, 2))
+	}
+	if levels >= 4 {
+		io.pmd.fill(pt.PrefixKey(vpn, 3))
+	}
+	entry := tlb.Entry{Space: space.ID, VPN: vpn, PFN: pfn}
+	io.l2.Insert(entry)
+	io.l1.Insert(entry)
+	return entry
 }
 
 // Shootdown invalidates vpn in the device TLBs (§7.1). Page-walk caches
