@@ -16,6 +16,9 @@
 #   make sample-smoke fast sampled campaign: a two-app × two-scheme matrix under
 #                     sampled execution, asserting estimates (CIs included) are
 #                     byte-identical at procs=1 vs 4 and survive a cache pass
+#   make serve-smoke  end-to-end drive of `gpureach serve`: duplicate concurrent
+#                     campaigns over HTTP, event streams, aggregate byte-identity
+#                     vs the CLI sweep, coalesce/cache dedup, SIGTERM drain
 #   make coverage     statement-coverage gate: internal/sample and
 #                     internal/stats must each cover >= 85%
 
@@ -23,7 +26,7 @@ GO ?= go
 
 .DEFAULT_GOAL := tier1
 
-.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke chaos-smoke sample-smoke coverage
+.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke chaos-smoke sample-smoke serve-smoke coverage
 
 tier1:
 	$(GO) build ./...
@@ -94,6 +97,9 @@ sample-smoke:
 	cmp .sample-smoke/p1/aggregate.json .sample-smoke/p4/aggregate.json
 	grep -q '"sampled"' .sample-smoke/p1/journal.jsonl
 	@echo "sample-smoke: sampled estimates byte-identical across procs 1 vs 4 and across a cache pass"
+
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 coverage:
 	$(GO) test -coverprofile=.coverage.out ./internal/sample/ ./internal/stats/

@@ -14,11 +14,15 @@
 //	gpureach sweep -schemes lds,ic+lds -scale 0.1 -procs 8 -out sweep-out
 //	gpureach sweep -resume -out sweep-out   # pick up a killed campaign
 //
+//	gpureach serve -addr 127.0.0.1:8787     # campaign server (HTTP/JSON API)
+//	gpureach -list -json                    # machine-readable spec vocabulary
+//
 //	gpureach exp -list                      # paper tables/figures by ID
 //	gpureach exp -exp F13b -scale 0.25
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +43,9 @@ func main() {
 		case "sweep":
 			runSweep(os.Args[2:])
 			return
+		case "serve":
+			runServe(os.Args[2:])
+			return
 		case "exp":
 			os.Exit(cli.RunExp(os.Args[2:], os.Stdout, os.Stderr))
 		}
@@ -53,6 +60,7 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault injection: seed=N,rate=R[,max=M] — deterministic shootdowns, migrations, LDS reclaims and walker stalls with live invariant checks")
 	sampleSpec := flag.String("sample", "", "sampled execution, e.g. windows=8,frac=0.05,seed=1 — cycles become an extrapolated mean ± 95% CI (empty: full detail)")
 	list := flag.Bool("list", false, "list workloads, schemes and page sizes, then exit")
+	listJSON := flag.Bool("json", false, "with -list: print the machine-readable catalog (what API clients feed into sweep specs)")
 	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(os.Stderr); err != nil {
@@ -62,8 +70,16 @@ func main() {
 	defer prof.Stop(os.Stderr)
 
 	if *list {
-		printList()
+		if *listJSON {
+			printCatalogJSON()
+		} else {
+			printList()
+		}
 		return
+	}
+	if *listJSON {
+		fmt.Fprintln(os.Stderr, "-json only applies to -list")
+		os.Exit(2)
 	}
 
 	var sampleCfg sample.Config
@@ -242,21 +258,21 @@ func printList() {
 			w.Name, w.Suite, w.Category, w.UsesLDS, w.B2B)
 	}
 	fmt.Println("\nschemes (Figure 13/16 design points):")
-	desc := map[string]string{
-		"baseline":        "Table 1 system, no reconfiguration",
-		"lds":             "LDS victim store only (§4.2)",
-		"ic-1tx":          "I-cache, one translation per way (Fig 8b)",
-		"ic-naive":        "I-cache, packed lines, naive replacement",
-		"ic-aware":        "I-cache, packed lines, instruction-aware",
-		"ic-aware+flush":  "ic-aware plus kernel-boundary flush (§4.3.3)",
-		"ic+lds":          "the paper's full combined design",
-		"ducati":          "DUCATI in-memory store only (§6.3.4)",
-		"ic+lds+ducati":   "combined design composed with DUCATI",
-		"ic+lds-prefetch": "§4.1 ablation: prefetch organization",
-	}
 	for _, name := range core.SchemeNames() {
-		fmt.Printf("  %-15s %s\n", name, desc[name])
+		fmt.Printf("  %-15s %s\n", name, cli.SchemeDescription(name))
 	}
 	fmt.Println("\npage sizes (§6.2):")
 	fmt.Printf("  %s\n", strings.Join(core.PageSizeNames(), ", "))
+}
+
+// printCatalogJSON is the -list -json form: the same vocabulary as a
+// machine-readable document (identical to the serve API's GET
+// /catalog), so clients can build sweep specs without scraping text.
+func printCatalogJSON() {
+	data, err := json.MarshalIndent(cli.BuildCatalog(), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s\n", data)
 }

@@ -34,17 +34,19 @@ func simPackage(path string) bool {
 		return false
 	}
 	switch strings.SplitN(rest, "/", 2)[0] {
-	case "analysis", "cli", "sweep":
+	case "analysis", "cli", "serve", "sweep":
 		return false
 	}
 	return true
 }
 
-// simErrPackage extends the simerr scope to the sweep engine: the
-// campaign layer must stay panic-free too, it just may read the wall
-// clock.
+// simErrPackage extends the simerr scope to the sweep engine and the
+// campaign server: those layers must stay panic-free too, they just
+// may read the wall clock.
 func simErrPackage(path string) bool {
-	return simPackage(path) || path == "gpureach/internal/sweep"
+	return simPackage(path) ||
+		path == "gpureach/internal/sweep" ||
+		path == "gpureach/internal/serve"
 }
 
 // DefaultSuite wires the five analyzers to the repo's real invariant

@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"gpureach/internal/core"
+	"gpureach/internal/workloads"
+)
+
+// Catalog is the machine-readable listing of everything a sweep spec
+// (or a `POST /campaigns` submission) can name: the Table 2
+// workloads, every registered translation scheme, and the supported
+// page sizes. `gpureach -list -json` prints it and the serve
+// subsystem's GET /catalog returns it, so API clients can discover
+// valid spec values without scraping text output.
+type Catalog struct {
+	Workloads []CatalogWorkload `json:"workloads"`
+	Schemes   []CatalogScheme   `json:"schemes"`
+	PageSizes []string          `json:"pagesizes"`
+	// L2TLBDefault is the Table 1 L2 TLB size a spec gets when it
+	// leaves the axis empty.
+	L2TLBDefault int `json:"l2tlb_default"`
+}
+
+// CatalogWorkload is one Table 2 application.
+type CatalogWorkload struct {
+	Name     string `json:"name"`
+	Suite    string `json:"suite"`
+	Category string `json:"category"`
+	UsesLDS  bool   `json:"uses_lds"`
+	B2B      bool   `json:"b2b_kernels"`
+}
+
+// CatalogScheme is one registered translation scheme.
+type CatalogScheme struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// schemeDescriptions map the registry names onto their Figure 13/16
+// design points.
+var schemeDescriptions = map[string]string{
+	"baseline":        "Table 1 system, no reconfiguration",
+	"lds":             "LDS victim store only (§4.2)",
+	"ic-1tx":          "I-cache, one translation per way (Fig 8b)",
+	"ic-naive":        "I-cache, packed lines, naive replacement",
+	"ic-aware":        "I-cache, packed lines, instruction-aware",
+	"ic-aware+flush":  "ic-aware plus kernel-boundary flush (§4.3.3)",
+	"ic+lds":          "the paper's full combined design",
+	"ducati":          "DUCATI in-memory store only (§6.3.4)",
+	"ic+lds+ducati":   "combined design composed with DUCATI",
+	"ic+lds-prefetch": "§4.1 ablation: prefetch organization",
+}
+
+// SchemeDescription returns the one-line description of a registered
+// scheme ("" for schemes added without one).
+func SchemeDescription(name string) string { return schemeDescriptions[name] }
+
+// BuildCatalog assembles the catalog from the live registries, so a
+// newly registered scheme or page size appears without touching this
+// package.
+func BuildCatalog() Catalog {
+	cat := Catalog{
+		PageSizes:    core.PageSizeNames(),
+		L2TLBDefault: core.DefaultConfig(core.Baseline()).L2TLBEntries,
+	}
+	for _, w := range workloads.All() {
+		cat.Workloads = append(cat.Workloads, CatalogWorkload{
+			Name: w.Name, Suite: w.Suite, Category: string(w.Category),
+			UsesLDS: w.UsesLDS, B2B: w.B2B,
+		})
+	}
+	for _, name := range core.SchemeNames() {
+		cat.Schemes = append(cat.Schemes, CatalogScheme{
+			Name: name, Description: schemeDescriptions[name],
+		})
+	}
+	return cat
+}

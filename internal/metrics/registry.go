@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Registry is a named-metric store: an ordered set of float64 gauges
@@ -12,9 +13,12 @@ import (
 // numbers survive the run itself — sweep journals snapshot a Registry
 // per completed run, making campaigns observable after the fact.
 //
-// A Registry is not safe for concurrent use; the sweep engine gives
-// each run its own and serializes snapshots at the journal.
+// A Registry is safe for concurrent use: the campaign server's worker
+// callbacks increment counters while /metrics snapshots the same
+// registry. Within the simulation a run still gets its own registry,
+// so the lock is uncontended there.
 type Registry struct {
+	mu    sync.Mutex
 	names []string
 	vals  map[string]float64
 }
@@ -24,17 +28,26 @@ func NewRegistry() *Registry {
 	return &Registry{vals: map[string]float64{}}
 }
 
-// Set records the current value of a gauge, registering the name on
-// first use.
-func (r *Registry) Set(name string, v float64) {
+// setLocked registers and assigns under r.mu.
+func (r *Registry) setLocked(name string, v float64) {
 	if _, ok := r.vals[name]; !ok {
 		r.names = append(r.names, name)
 	}
 	r.vals[name] = v
 }
 
+// Set records the current value of a gauge, registering the name on
+// first use.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.setLocked(name, v)
+}
+
 // Add increments a counter (registering it at zero on first use).
 func (r *Registry) Add(name string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.vals[name]; !ok {
 		r.names = append(r.names, name)
 	}
@@ -42,13 +55,23 @@ func (r *Registry) Add(name string, delta float64) {
 }
 
 // Get returns the value of a metric (0 if never set).
-func (r *Registry) Get(name string) float64 { return r.vals[name] }
+func (r *Registry) Get(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.vals[name]
+}
 
 // Len returns the number of registered metrics.
-func (r *Registry) Len() int { return len(r.names) }
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.names)
+}
 
 // Names returns the registered metric names in registration order.
 func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]string, len(r.names))
 	copy(out, r.names)
 	return out
@@ -58,6 +81,8 @@ func (r *Registry) Names() []string {
 // map keys, so marshalling a snapshot is deterministic — a property the
 // sweep determinism tests rely on.
 func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make(map[string]float64, len(r.vals))
 	for k, v := range r.vals {
 		out[k] = v
@@ -79,6 +104,8 @@ func (r *Registry) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.names = r.names[:0]
 	r.vals = map[string]float64{}
 	keys := make([]string, 0, len(m))
@@ -87,7 +114,7 @@ func (r *Registry) UnmarshalJSON(data []byte) error {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		r.Set(k, m[k])
+		r.setLocked(k, m[k])
 	}
 	return nil
 }
@@ -95,6 +122,8 @@ func (r *Registry) UnmarshalJSON(data []byte) error {
 // String renders "name=value" pairs in registration order, for
 // progress lines and debugging.
 func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
 	for i, n := range r.names {
 		if i > 0 {

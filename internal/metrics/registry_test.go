@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -56,5 +58,61 @@ func TestRegistrySnapshotIsACopy(t *testing.T) {
 	snap["x"] = 99
 	if r.Get("x") != 1 {
 		t.Fatal("snapshot aliases registry storage")
+	}
+}
+
+// TestRegistryConcurrentSnapshotWhileWriting exercises the campaign
+// server's access pattern: worker callbacks incrementing counters while
+// /metrics snapshots and marshals the same registry. Run with -race to
+// prove the lock covers every path.
+func TestRegistryConcurrentSnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("counter_%d", w%4)
+			for i := 0; i < perWriter; i++ {
+				r.Add(name, 1)
+				r.Set(fmt.Sprintf("gauge_%d", w), float64(i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readErr error
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := json.Marshal(r); err != nil {
+				readErr = err
+				return
+			}
+			r.Snapshot()
+			r.Names()
+			_ = r.String()
+			_ = r.Get("counter_0")
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readWG.Wait()
+	if readErr != nil {
+		t.Fatalf("snapshot during writes: %v", readErr)
+	}
+	var total float64
+	for i := 0; i < 4; i++ {
+		total += r.Get(fmt.Sprintf("counter_%d", i))
+	}
+	if want := float64(writers * perWriter); total != want {
+		t.Fatalf("lost increments: got %v, want %v", total, want)
 	}
 }

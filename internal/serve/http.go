@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpureach/internal/cli"
+	"gpureach/internal/sweep"
+)
+
+// HTTPError is an API-visible failure: a status code, a message, and
+// (for backpressure responses) a Retry-After hint.
+type HTTPError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string { return e.Msg }
+
+// SubmitResponse answers POST /campaigns.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Total int    `json:"total"`
+	// Links name the campaign's other endpoints so clients need no
+	// URL templates.
+	Links map[string]string `json:"links"`
+}
+
+// StatusResponse answers GET /campaigns and GET /campaigns/{id}.
+type StatusResponse struct {
+	ID     string      `json:"id"`
+	State  State       `json:"state"`
+	Counts Counts      `json:"counts"`
+	Error  string      `json:"error,omitempty"`
+	Spec   *sweep.Spec `json:"spec,omitempty"`
+	// Artifacts lists the fetchable artifact endpoints of a done
+	// campaign.
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	OK        bool `json:"ok"`
+	Draining  bool `json:"draining"`
+	Campaigns int  `json:"campaigns"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{id}/aggregate", s.handleAggregate)
+	mux.HandleFunc("GET /campaigns/{id}/aggregate.csv", s.handleAggregateCSV)
+	mux.HandleFunc("GET /campaigns/{id}/robustness", s.handleRobustness)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /catalog", s.handleCatalog)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	he, ok := err.(*HTTPError)
+	if !ok {
+		he = &HTTPError{Status: http.StatusInternalServerError, Msg: err.Error()}
+	}
+	if he.RetryAfter > 0 {
+		secs := int(he.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, he.Status, map[string]string{"error": he.Msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, &HTTPError{Status: 400, Msg: fmt.Sprintf("bad spec: %v", err)})
+		return
+	}
+	c, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	base := "/campaigns/" + c.ID
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: c.ID, Total: c.Counts().Total,
+		Links: map[string]string{
+			"status":    base,
+			"events":    base + "/events",
+			"aggregate": base + "/aggregate",
+		},
+	})
+}
+
+func (s *Server) status(c *Campaign, withSpec bool) StatusResponse {
+	st := StatusResponse{
+		ID: c.ID, State: c.State(), Counts: c.Counts(), Error: c.Err(),
+	}
+	if withSpec {
+		spec := c.Spec
+		st.Spec = &spec
+	}
+	if _, _, ok := c.Aggregate(); ok {
+		st.Artifacts = append(st.Artifacts, "aggregate", "aggregate.csv")
+	}
+	if _, _, ok := c.Robustness(); ok {
+		st.Artifacts = append(st.Artifacts, "robustness")
+	}
+	return st
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []StatusResponse
+	for _, c := range s.Campaigns() {
+		out = append(out, s.status(c, false))
+	}
+	if out == nil {
+		out = []StatusResponse{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// campaignFor resolves {id} or answers 404.
+func (s *Server) campaignFor(w http.ResponseWriter, r *http.Request) (*Campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.Campaign(id)
+	if !ok {
+		writeError(w, &HTTPError{Status: 404, Msg: fmt.Sprintf("unknown campaign %q", id)})
+	}
+	return c, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(c, true))
+}
+
+// handleEvents streams per-run progress: every journaled record so
+// far, then live completions until the campaign is terminal. The
+// default framing is NDJSON (one record per line, exactly the
+// journal's bytes); an Accept header naming text/event-stream selects
+// SSE framing instead.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	emit := func(rec sweep.Record) bool {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return false
+		}
+		if sse {
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return false
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "%s\n", data); err != nil {
+				return false
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	replay, live, cancel := c.subscribe()
+	defer cancel()
+	for _, rec := range replay {
+		if !emit(rec) {
+			return
+		}
+	}
+	if live == nil {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case rec, open := <-live:
+			if !open {
+				return // campaign finalized; stream complete
+			}
+			if !emit(rec) {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// artifact answers with prebuilt bytes, or 409 while the campaign is
+// still producing them (404 for artifacts the campaign will never
+// have).
+func (s *Server) artifact(w http.ResponseWriter, c *Campaign, data []byte, ok bool, contentType, what string) {
+	if !ok {
+		st := c.State()
+		if st.Terminal() {
+			writeError(w, &HTTPError{Status: 404, Msg: fmt.Sprintf(
+				"campaign %s has no %s (state %s)", c.ID, what, st)})
+			return
+		}
+		writeError(w, &HTTPError{Status: 409, Msg: fmt.Sprintf(
+			"campaign %s is %s; %s not ready", c.ID, st, what), RetryAfter: s.cfg.RetryAfter})
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(data)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	data, _, ready := c.Aggregate()
+	s.artifact(w, c, data, ready, "application/json", "aggregate")
+}
+
+func (s *Server) handleAggregateCSV(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	_, data, ready := c.Aggregate()
+	s.artifact(w, c, data, ready, "text/csv", "aggregate")
+}
+
+func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	data, _, ready := c.Robustness()
+	if !ready && c.State() == StateDone {
+		writeError(w, &HTTPError{Status: 404, Msg: fmt.Sprintf(
+			"campaign %s has no robustness scorecard (no chaos trials in the spec)", c.ID)})
+		return
+	}
+	s.artifact(w, c, data, ready, "application/json", "robustness scorecard")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	n := len(s.campaigns)
+	s.mu.Unlock()
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, HealthResponse{OK: !draining, Draining: draining, Campaigns: n})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	data, err := json.Marshal(s.Metrics())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// handleCatalog publishes the valid spec vocabulary (workloads,
+// schemes, page sizes) so API clients can build specs without
+// scraping `gpureach -list` text output. Same payload as
+// `gpureach -list -json`.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cli.BuildCatalog())
+}

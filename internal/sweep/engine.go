@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"time"
 
@@ -107,31 +106,16 @@ type Campaign struct {
 	Stats   Stats
 }
 
-// Execute expands the spec and runs the campaign to completion.
-// Individual run failures do not abort the campaign — they are
-// journaled, counted in Stats.Failed, and excluded from aggregation;
-// infrastructure failures (unwritable cache/journal) do abort.
+// Execute expands the spec and runs the campaign to completion on a
+// private Engine. Individual run failures do not abort the campaign —
+// they are journaled, counted in Stats.Failed, and excluded from
+// aggregation; infrastructure failures (unwritable cache/journal) do
+// abort.
 func Execute(spec Spec, opts Options) (*Campaign, error) {
 	start := time.Now()
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
-	}
-	if opts.Procs <= 0 {
-		opts.Procs = runtime.GOMAXPROCS(0)
-	}
-	if opts.MaxAttempts <= 0 {
-		opts.MaxAttempts = 3
-	}
-	if opts.Backoff <= 0 {
-		opts.Backoff = 100 * time.Millisecond
-	}
-	if opts.Sleep == nil {
-		opts.Sleep = time.Sleep
-	}
-	runFn := opts.RunFn
-	if runFn == nil {
-		runFn = ExecuteRun
 	}
 
 	runs := spec.Expand()
@@ -187,68 +171,42 @@ func Execute(spec Spec, opts Options) (*Campaign, error) {
 		}
 	}
 
-	jobs := make(chan int)
+	eng := NewEngine(EngineOptions{
+		Procs: opts.Procs, Cache: cache,
+		MaxAttempts: opts.MaxAttempts, Backoff: opts.Backoff,
+		Sleep: opts.Sleep, RunFn: opts.RunFn,
+	})
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Procs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				run := runs[i]
-				digest := run.DigestHex()
-
-				if rec, ok := prior[digest]; ok {
-					mu.Lock()
-					c.Stats.JournalHits++
-					mu.Unlock()
-					finish(i, rec, nil)
-					continue
-				}
-				if cache != nil {
-					if rec, ok := cache.Get(digest); ok {
-						rec.Cached = true
-						rec.WallMS = 0
-						var jerr error
-						if journal != nil {
-							jerr = journal.Append(rec)
-						}
-						mu.Lock()
-						c.Stats.CacheHits++
-						mu.Unlock()
-						finish(i, rec, jerr)
-						continue
-					}
-				}
-
-				rec := executeWithRetry(run, digest, runFn, opts)
-				mu.Lock()
-				c.Stats.Executed++
-				mu.Unlock()
-				var infraErr error
-				if cache != nil && !rec.Failed() {
-					// Strip the wall-clock cost before persisting so a
-					// cache file's bytes depend only on the run, never on
-					// how fast this machine happened to execute it. (Get
-					// zeroes WallMS too, for caches written before this
-					// rule existed.)
-					cached := rec
-					cached.WallMS = 0
-					infraErr = cache.Put(cached)
-				}
-				if journal != nil {
-					if jerr := journal.Append(rec); jerr != nil && infraErr == nil {
-						infraErr = jerr
-					}
-				}
-				finish(i, rec, infraErr)
-			}
-		}()
-	}
 	for i := range runs {
-		jobs <- i
+		if rec, ok := prior[runs[i].DigestHex()]; ok {
+			mu.Lock()
+			c.Stats.JournalHits++
+			mu.Unlock()
+			finish(i, rec, nil)
+			continue
+		}
+		i := i
+		wg.Add(1)
+		eng.Submit(runs[i], func(out Outcome) {
+			defer wg.Done()
+			infraErr := out.InfraErr
+			if journal != nil {
+				if jerr := journal.Append(out.Record); jerr != nil && infraErr == nil {
+					infraErr = jerr
+				}
+			}
+			mu.Lock()
+			if out.CacheHit || out.Coalesced {
+				c.Stats.CacheHits++
+			} else {
+				c.Stats.Executed++
+			}
+			mu.Unlock()
+			finish(i, out.Record, infraErr)
+		})
 	}
-	close(jobs)
 	wg.Wait()
+	eng.Close()
 
 	c.Stats.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if firstErr != nil {
@@ -264,12 +222,12 @@ func Execute(spec Spec, opts Options) (*Campaign, error) {
 // history (seed included, via the Run descriptor). A run that exhausts
 // its attempts becomes a terminal-failure record — journaled, never
 // cached, scored by the robustness scorecard — not a campaign abort.
-func executeWithRetry(run Run, digest string, runFn func(Run) (RunResult, error), opts Options) Record {
+func executeWithRetry(run Run, digest string, opts EngineOptions) Record {
 	rec := Record{Digest: digest, Run: run}
 	for attempt := 1; ; attempt++ {
 		rec.Attempts = attempt
 		start := time.Now()
-		rr, err := runFn(run)
+		rr, err := opts.RunFn(run)
 		rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		rec.PerApp = rr.PerApp
 		rec.Chaos = rr.Chaos

@@ -59,6 +59,10 @@ type Record struct {
 	// Cached marks records satisfied from the result cache rather than
 	// executed in this campaign.
 	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks records satisfied by piggybacking on another
+	// campaign's in-flight execution of the same digest (serve mode's
+	// MSHR-style dedup) — this campaign never paid for the run.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// WallMS is the wall-clock cost of the final attempt (0 for cache
 	// and journal hits). Excluded from every deterministic artifact.
 	WallMS float64 `json:"wall_ms,omitempty"`

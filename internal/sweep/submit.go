@@ -1,0 +1,227 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Engine is the long-lived submit/observe form of the campaign
+// executor: a bounded worker pool fed one run descriptor at a time,
+// with the content-addressed cache as a shared result store and
+// MSHR-style coalescing of duplicate in-flight digests (the same
+// dedup pattern the icache uses for in-flight line fills). Execute
+// drives an Engine for the one-shot CLI campaign; the serve subsystem
+// keeps one alive across campaigns, which is what lets two concurrent
+// submissions sharing matrix cells compute each cell exactly once.
+type Engine struct {
+	opts EngineOptions
+
+	jobs chan *flight
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	counters EngineCounters
+}
+
+// EngineOptions configure a submit/observe engine. The zero value of
+// every field selects the same default Execute has always used.
+type EngineOptions struct {
+	// Procs bounds the worker pool (default GOMAXPROCS).
+	Procs int
+	// Cache is the shared content-addressed result store; nil runs
+	// fully in-memory (no hits, nothing persisted).
+	Cache *Cache
+	// MaxAttempts bounds executions per run including retries
+	// (default 3). Only structured *sim.SimError failures are retried.
+	MaxAttempts int
+	// Backoff is the base delay before a retry, doubling per attempt
+	// (default 100ms).
+	Backoff time.Duration
+	// Sleep replaces time.Sleep for retry backoff (tests).
+	Sleep func(time.Duration)
+	// RunFn overrides the simulation entry point (tests).
+	RunFn func(Run) (RunResult, error)
+}
+
+// Outcome is what the engine hands back for one submitted run: the
+// finished record plus how it was satisfied — executed, served from
+// the cache, or coalesced onto another submission's in-flight
+// execution of the same digest.
+type Outcome struct {
+	Record Record
+	// CacheHit marks results served from the content-addressed store.
+	CacheHit bool
+	// Coalesced marks submissions that piggybacked on an in-flight
+	// execution of the same digest instead of queueing their own.
+	Coalesced bool
+	// InfraErr reports an infrastructure failure (an unwritable cache
+	// entry) that should abort the campaign even though the run itself
+	// may have succeeded.
+	InfraErr error
+}
+
+// EngineCounters are the engine's lifetime totals, the substrate of
+// the serve subsystem's /metrics endpoint.
+type EngineCounters struct {
+	// Submitted counts every Submit call, coalesced ones included.
+	Submitted int64
+	// Executed counts runs actually simulated by a worker.
+	Executed int64
+	// CacheHits counts runs served from the content-addressed store.
+	CacheHits int64
+	// Coalesced counts submissions deduplicated onto an in-flight
+	// execution of the same digest.
+	Coalesced int64
+	// Retries counts retried attempts across all executed runs.
+	Retries int64
+	// Failed counts terminal run failures (attempts exhausted).
+	Failed int64
+	// InFlight is the number of runs a worker is executing right now.
+	InFlight int64
+}
+
+// flight is one in-flight digest: the descriptor plus every
+// submission waiting on its result. The first deliver func is the
+// submission that created the flight; later ones coalesced onto it.
+type flight struct {
+	run     Run
+	digest  string
+	deliver []func(Outcome)
+}
+
+// NewEngine starts the worker pool. The caller owns the engine and
+// must Close it; Submit after Close is a programming error.
+func NewEngine(opts EngineOptions) *Engine {
+	if opts.Procs <= 0 {
+		opts.Procs = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	if opts.RunFn == nil {
+		opts.RunFn = ExecuteRun
+	}
+	e := &Engine{
+		opts:     opts,
+		jobs:     make(chan *flight),
+		inflight: map[string]*flight{},
+	}
+	for w := 0; w < opts.Procs; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit hands one run to the pool; deliver observes its Outcome from
+// a worker goroutine once the run completes. If the same digest is
+// already queued or executing, the submission coalesces onto that
+// flight — no second execution — and Submit returns immediately;
+// otherwise Submit blocks until a worker accepts the job, which is
+// the natural backpressure bound for campaign runner loops (at most
+// Procs runs execute, at most one waits per submitter).
+func (e *Engine) Submit(run Run, deliver func(Outcome)) {
+	digest := run.DigestHex()
+	e.mu.Lock()
+	e.counters.Submitted++
+	if f, ok := e.inflight[digest]; ok {
+		f.deliver = append(f.deliver, deliver)
+		e.counters.Coalesced++
+		e.mu.Unlock()
+		return
+	}
+	f := &flight{run: run, digest: digest, deliver: []func(Outcome){deliver}}
+	e.inflight[digest] = f
+	e.mu.Unlock()
+	e.jobs <- f
+}
+
+// Counters returns a snapshot of the engine's lifetime totals.
+func (e *Engine) Counters() EngineCounters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters
+}
+
+// Close stops the workers after every submitted run has been
+// delivered. Callers must not Submit concurrently with (or after)
+// Close.
+func (e *Engine) Close() {
+	close(e.jobs)
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for f := range e.jobs {
+		e.mu.Lock()
+		e.counters.InFlight++
+		e.mu.Unlock()
+
+		out := e.execute(f)
+
+		e.mu.Lock()
+		// Removing the flight and reading its waiter list under one
+		// lock acquisition is what makes coalescing exact: a Submit
+		// either sees the flight (and is delivered below) or runs
+		// after the delete (and is served from the cache).
+		delete(e.inflight, f.digest)
+		waiters := f.deliver
+		e.counters.InFlight--
+		if out.CacheHit {
+			e.counters.CacheHits++
+		} else {
+			e.counters.Executed++
+			e.counters.Retries += int64(len(out.Record.RetryErrors))
+			if out.Record.Failed() {
+				e.counters.Failed++
+			}
+		}
+		e.mu.Unlock()
+
+		for i, deliver := range waiters {
+			o := out
+			if i > 0 {
+				// This submission rode along: it pays no wall clock
+				// and its journal record says so.
+				o.Coalesced = true
+				o.Record.Coalesced = true
+				o.Record.WallMS = 0
+			}
+			deliver(o)
+		}
+	}
+}
+
+// execute satisfies one flight: from the shared cache when possible,
+// otherwise by simulating with bounded retries and persisting the
+// result for every later campaign.
+func (e *Engine) execute(f *flight) Outcome {
+	if e.opts.Cache != nil {
+		if rec, ok := e.opts.Cache.Get(f.digest); ok {
+			rec.Cached = true
+			rec.WallMS = 0
+			return Outcome{Record: rec, CacheHit: true}
+		}
+	}
+	rec := executeWithRetry(f.run, f.digest, e.opts)
+	var infraErr error
+	if e.opts.Cache != nil && !rec.Failed() {
+		// Strip the wall-clock cost before persisting so a cache
+		// file's bytes depend only on the run, never on how fast this
+		// machine happened to execute it. (Get zeroes WallMS too, for
+		// caches written before this rule existed.)
+		cached := rec
+		cached.WallMS = 0
+		infraErr = e.opts.Cache.Put(cached)
+	}
+	return Outcome{Record: rec, InfraErr: infraErr}
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEngineCoalescesDuplicateInFlight pins the MSHR-dedup rule at
+// the engine layer: two submissions of the same digest while the
+// first is still executing produce exactly one simulation, and the
+// second observer is delivered the same record marked Coalesced.
+func TestEngineCoalescesDuplicateInFlight(t *testing.T) {
+	run := Run{App: "ATAX", Scheme: "baseline", Scale: 0.05, L2TLB: 512, PageSize: "4K"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var executions atomic.Int64
+	slow := func(r Run) (RunResult, error) {
+		executions.Add(1)
+		close(started)
+		<-release
+		return ExecuteRun(r)
+	}
+	eng := NewEngine(EngineOptions{Procs: 2, RunFn: slow})
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var outs []Outcome
+	deliver := func(out Outcome) {
+		mu.Lock()
+		outs = append(outs, out)
+		mu.Unlock()
+		wg.Done()
+	}
+	wg.Add(2)
+	eng.Submit(run, deliver)
+	<-started                // the first submission is executing...
+	eng.Submit(run, deliver) // ...so this one must coalesce, not queue
+	close(release)
+	wg.Wait()
+	eng.Close()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("duplicate in-flight digest executed %d times, want 1", got)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("delivered %d outcomes, want 2", len(outs))
+	}
+	var coalesced, direct int
+	for _, out := range outs {
+		if out.Coalesced {
+			coalesced++
+			if !out.Record.Coalesced || out.Record.WallMS != 0 {
+				t.Errorf("coalesced record not marked free: coalesced=%v wallms=%v",
+					out.Record.Coalesced, out.Record.WallMS)
+			}
+		} else {
+			direct++
+		}
+		if out.Record.Digest != run.DigestHex() {
+			t.Errorf("outcome digest %s, want %s", out.Record.Digest, run.DigestHex())
+		}
+	}
+	if coalesced != 1 || direct != 1 {
+		t.Fatalf("coalesced=%d direct=%d, want exactly one of each", coalesced, direct)
+	}
+	if outs[0].Record.Results.Cycles != outs[1].Record.Results.Cycles {
+		t.Fatalf("coalesced result differs from executed result")
+	}
+
+	ctr := eng.Counters()
+	if ctr.Submitted != 2 || ctr.Executed != 1 || ctr.Coalesced != 1 || ctr.CacheHits != 0 {
+		t.Fatalf("counters = %+v, want submitted=2 executed=1 coalesced=1", ctr)
+	}
+}
+
+// TestEngineServesLaterSubmitsFromSharedCache: once a flight has
+// retired, a later submission of the same digest is a cache hit, not
+// a recomputation — the cross-campaign sharing serve mode relies on.
+func TestEngineServesLaterSubmitsFromSharedCache(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int64
+	counting := func(r Run) (RunResult, error) {
+		executions.Add(1)
+		return ExecuteRun(r)
+	}
+	eng := NewEngine(EngineOptions{Procs: 2, Cache: cache, RunFn: counting})
+	defer eng.Close()
+
+	run := Run{App: "ATAX", Scheme: "baseline", Scale: 0.05, L2TLB: 512, PageSize: "4K"}
+	submit := func() Outcome {
+		done := make(chan Outcome, 1)
+		eng.Submit(run, func(out Outcome) { done <- out })
+		return <-done
+	}
+	first := submit()
+	if first.CacheHit || first.Coalesced {
+		t.Fatalf("first submission not executed: %+v", first)
+	}
+	second := submit()
+	if !second.CacheHit {
+		t.Fatalf("second submission missed the shared cache")
+	}
+	if !second.Record.Cached || second.Record.WallMS != 0 {
+		t.Fatalf("cache-served record not normalized: cached=%v wallms=%v",
+			second.Record.Cached, second.Record.WallMS)
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("executed %d times, want 1", executions.Load())
+	}
+	if second.Record.Results.Cycles != first.Record.Results.Cycles {
+		t.Fatalf("cached result differs from executed result")
+	}
+	if ctr := eng.Counters(); ctr.CacheHits != 1 || ctr.Executed != 1 {
+		t.Fatalf("counters = %+v, want executed=1 cacheHits=1", ctr)
+	}
+}
