@@ -1,30 +1,48 @@
-// Command gpureachvet runs the repo's determinism lint suite
-// (internal/analysis) over the module: stdlib-only static analyzers
-// that make the simulator's invariants unwritable instead of merely
-// untested — no wall clock or ambient randomness in simulation
-// packages (detclock), no order-dependent output from map iteration
-// (maporder), no raw panics outside the structured-error convention
-// (simerr), no events scheduled behind the engine clock (schedguard),
-// and no order-dependent float accumulation (floatorder).
+// Command gpureachvet runs the repo's determinism and concurrency
+// lint suite (internal/analysis) over the module: stdlib-only static
+// analyzers that make the simulator's invariants unwritable instead
+// of merely untested — no wall clock or ambient randomness in
+// simulation packages (detclock), no order-dependent output from map
+// iteration (maporder), no raw panics outside the structured-error
+// convention (simerr), no events scheduled behind the engine clock
+// (schedguard), no order-dependent float accumulation (floatorder),
+// an acyclic mutex acquisition graph with no lock held across
+// blocking operations (lockorder), a proven join or cancel path for
+// every goroutine (goroleak), no root contexts minted below serve
+// entry points (ctxguard), and no nondeterminism reachable from
+// content-addressed digest inputs (digestpure).
 //
 // Usage:
 //
-//	gpureachvet              # analyze ./...
-//	gpureachvet ./...        # same
+//	gpureachvet                       # analyze ./...
+//	gpureachvet ./...                 # same
 //	gpureachvet ./internal/sweep gpureach/internal/core
-//	gpureachvet -list        # describe the analyzers and exit
+//	gpureachvet -list                 # describe the analyzers and exit
+//	gpureachvet -analyzers            # same as -list
+//	gpureachvet -analyzers detclock,schedguard ./internal/sim
+//	gpureachvet -json ./...           # machine-readable findings
+//	gpureachvet -stale-allows ./...   # also flag waivers that suppress nothing
 //
-// Diagnostics print as file:line:col: message [analyzer]; the exit
-// status is 1 when any diagnostic survives //gpureach:allow filtering,
-// 2 on usage or load errors. Intentional violations are silenced in
-// place:
+// Diagnostics print as file:line:col: message [analyzer] (or, with
+// -json, as a JSON array of {file,line,col,analyzer,message}
+// objects); the exit status is 1 when any diagnostic survives
+// //gpureach:allow filtering, 2 on usage or load errors. Intentional
+// violations are silenced in place:
 //
 //	//gpureach:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// -stale-allows reports any such directive that no longer suppresses
+// a diagnostic (under the staleallow name), so waivers are pruned
+// when the code they excused goes away. It needs the full suite to
+// judge a waiver unused and therefore cannot combine with a
+// -analyzers subset.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,17 +57,24 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("gpureachvet", flag.ExitOnError)
 	list := fs.Bool("list", false, "describe the analyzers and exit")
-	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-	fs.Parse(args)
+	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all); with no value, same as -list")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
+	staleAllows := fs.Bool("stale-allows", false, "also report //gpureach:allow directives that suppress nothing")
+	fs.Parse(rewriteBareAnalyzers(args))
 
 	suite := analysis.DefaultSuite()
 	if *only != "" {
+		if *staleAllows {
+			fmt.Fprintln(os.Stderr, "gpureachvet: -stale-allows needs the full suite; it cannot combine with an -analyzers subset")
+			return 2
+		}
 		suite = filterSuite(suite, *only)
 		if len(suite.Rules) == 0 {
 			fmt.Fprintf(os.Stderr, "gpureachvet: no analyzer matches %q\n", *only)
 			return 2
 		}
 	}
+	suite.ReportStale = *staleAllows
 	if *list {
 		for _, a := range suite.Analyzers() {
 			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
@@ -79,18 +104,87 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "gpureachvet:", err)
 		return 2
 	}
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, rerr := filepath.Rel(cwd, pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	if *jsonOut {
+		printJSON(cwd, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s [%s]\n", relPos(cwd, d), d.Message, d.Analyzer)
 		}
-		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "gpureachvet: %d diagnostic(s) across %d package(s)\n", len(diags), len(paths))
 		return 1
 	}
 	return 0
+}
+
+// rewriteBareAnalyzers turns a value-less -analyzers (last argument,
+// or followed by something that is not a comma-separated list of
+// known analyzer names) into -list, so `gpureachvet -analyzers` reads
+// as "show me the analyzers" while the documented subset form keeps
+// working.
+func rewriteBareAnalyzers(args []string) []string {
+	known := map[string]bool{}
+	for _, a := range analysis.DefaultSuite().Analyzers() {
+		known[a.Name] = true
+	}
+	out := make([]string, len(args))
+	copy(out, args)
+	for i, a := range out {
+		if a != "-analyzers" && a != "--analyzers" {
+			continue
+		}
+		bare := i == len(out)-1
+		if !bare {
+			for _, name := range strings.Split(out[i+1], ",") {
+				if !known[strings.TrimSpace(name)] {
+					bare = true
+					break
+				}
+			}
+		}
+		if bare {
+			out[i] = "-list"
+		}
+	}
+	return out
+}
+
+// jsonDiag is the machine-readable finding shape the CI lint job
+// uploads as an artifact.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(cwd string, diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags)) // [] not null for an empty run
+	for _, d := range diags {
+		pos := relPos(cwd, d)
+		out = append(out, jsonDiag{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpureachvet:", err)
+		return
+	}
+	fmt.Println(string(data))
+}
+
+// relPos rewrites a diagnostic's filename relative to cwd when it is
+// inside it, for stable human- and machine-readable output.
+func relPos(cwd string, d analysis.Diagnostic) token.Position {
+	pos := d.Pos
+	if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return pos
 }
 
 // resolvePatterns turns command-line package patterns into import

@@ -15,26 +15,49 @@ import (
 // places a reviewer's eye lands when reading the offending statement.
 const allowPrefix = "//gpureach:allow"
 
-// allowIndex records, per file and line, which analyzers are allowed.
-type allowIndex map[string]map[int]map[string]bool // filename → line → analyzer → allowed
+// StaleAllowAnalyzer is the analyzer name stale-waiver diagnostics are
+// reported under (there is no Analyzer value behind it: staleness is a
+// property of the directives, computed after every real analyzer has
+// run and been filtered).
+const StaleAllowAnalyzer = "staleallow"
+
+// allowDirective is one analyzer name of one //gpureach:allow comment,
+// tracked so directives that stop suppressing anything can be flagged
+// instead of rotting in place.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// allowIndex records, per file and line, which analyzers are allowed,
+// pointing back at the directives so suppression marks them used.
+type allowIndex struct {
+	byLine     map[string]map[int]map[string]*allowDirective // filename → line → analyzer
+	directives []*allowDirective
+}
 
 // buildAllowIndex scans every comment in the files for allow
 // directives. Directives with an empty analyzer list are ignored:
 // a blanket "allow everything" is not a thing.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
-	idx := allowIndex{}
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: map[string]map[int]map[string]*allowDirective{}}
 	add := func(pos token.Position, analyzer string) {
-		byLine := idx[pos.Filename]
+		byLine := idx.byLine[pos.Filename]
 		if byLine == nil {
-			byLine = map[int]map[string]bool{}
-			idx[pos.Filename] = byLine
+			byLine = map[int]map[string]*allowDirective{}
+			idx.byLine[pos.Filename] = byLine
 		}
 		set := byLine[pos.Line]
 		if set == nil {
-			set = map[string]bool{}
+			set = map[string]*allowDirective{}
 			byLine[pos.Line] = set
 		}
-		set[analyzer] = true
+		if set[analyzer] == nil {
+			d := &allowDirective{pos: pos, analyzer: analyzer}
+			set[analyzer] = d
+			idx.directives = append(idx.directives, d)
+		}
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -65,14 +88,15 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 }
 
 // allowed reports whether a diagnostic is suppressed by a directive on
-// its own line or the line directly above.
-func (idx allowIndex) allowed(d Diagnostic) bool {
-	byLine := idx[d.Pos.Filename]
+// its own line or the line directly above, marking the directive used.
+func (idx *allowIndex) allowed(d Diagnostic) bool {
+	byLine := idx.byLine[d.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if set := byLine[line]; set != nil && set[d.Analyzer] {
+		if dir := byLine[line][d.Analyzer]; dir != nil {
+			dir.used = true
 			return true
 		}
 	}
@@ -80,8 +104,9 @@ func (idx allowIndex) allowed(d Diagnostic) bool {
 }
 
 // filterAllowed drops the diagnostics suppressed by directives in the
-// given files.
-func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+// given files and returns the directives with their usage marks, so
+// callers can flag the stale ones.
+func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) ([]Diagnostic, []*allowDirective) {
 	idx := buildAllowIndex(fset, files)
 	kept := diags[:0]
 	for _, d := range diags {
@@ -89,5 +114,25 @@ func filterAllowed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) [
 			kept = append(kept, d)
 		}
 	}
-	return kept
+	return kept, idx.directives
+}
+
+// staleDiagnostics turns the unused directives into diagnostics under
+// StaleAllowAnalyzer: a waiver that suppresses nothing is itself a
+// finding — either the violation it excused was fixed (delete the
+// directive) or it names an analyzer that never fires there (a typo,
+// or a scope the analyzer does not cover).
+func staleDiagnostics(directives []*allowDirective, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range directives {
+		if dir.used {
+			continue
+		}
+		msg := "//gpureach:allow " + dir.analyzer + " suppresses no diagnostic; delete the stale waiver"
+		if !known[dir.analyzer] {
+			msg = "//gpureach:allow names unknown analyzer " + dir.analyzer + "; fix the name or delete the directive"
+		}
+		out = append(out, Diagnostic{Pos: dir.pos, Analyzer: StaleAllowAnalyzer, Message: msg})
+	}
+	return out
 }

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStaleAllowDetection pins the -stale-allows contract: a directive
+// that suppresses a diagnostic stays silent, one whose violation was
+// fixed is reported as stale, and one naming a nonexistent analyzer is
+// called out as unknown — all under the staleallow name, only when
+// ReportStale is set.
+func TestStaleAllowDetection(t *testing.T) {
+	dir := filepath.Join("testdata", "_staleallow")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	src := `package staleallow
+
+import "time"
+
+func used() time.Time {
+	//gpureach:allow detclock -- legitimately suppressing the read below
+	return time.Now()
+}
+
+func fixed() int {
+	//gpureach:allow detclock -- the violation this excused is gone
+	return 42
+}
+
+func typo() int {
+	//gpureach:allow detclok -- misspelled analyzer name
+	return 7
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	quiet, err := func() ([]Diagnostic, error) {
+		l, err := NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return DefaultSuite().RunDir(l, dir)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quiet) != 0 {
+		t.Fatalf("without ReportStale the fixture must be clean, got %v", quiet)
+	}
+
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := DefaultSuite()
+	suite.ReportStale = true
+	diags, err := suite.RunDir(l, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want exactly two staleallow diagnostics, got %v", diags)
+	}
+	var stale, unknown bool
+	for _, d := range diags {
+		if d.Analyzer != StaleAllowAnalyzer {
+			t.Fatalf("diagnostic under %q, want %q: %v", d.Analyzer, StaleAllowAnalyzer, d)
+		}
+		switch {
+		case strings.Contains(d.Message, "suppresses no diagnostic"):
+			stale = true
+		case strings.Contains(d.Message, "unknown analyzer detclok"):
+			unknown = true
+		}
+	}
+	if !stale || !unknown {
+		t.Fatalf("want one stale and one unknown-analyzer report, got %v", diags)
+	}
+}

@@ -1,20 +1,28 @@
 // Package analysis is a stdlib-only static-analysis framework (go/parser
 // + go/ast + go/types + a source importer — no x/tools, per the repo's
 // no-external-dependency constraint) that enforces the simulator's
-// determinism contracts at compile time rather than by sampling:
+// determinism and concurrency contracts at compile time rather than by
+// sampling:
 //
 //   - detclock:   no wall clock / ambient randomness in simulation packages
 //   - maporder:   no order-dependent output built from map iteration
 //   - simerr:     no raw panics outside the sanctioned structured-error sites
 //   - schedguard: no engine events scheduled at times that may lie in the past
 //   - floatorder: no order-dependent float accumulation
+//   - lockorder:  an acyclic mutex acquisition graph; no lock held across
+//     blocking channel ops, WaitGroup/Cond waits, or dynamic calls
+//   - goroleak:   every goroutine has a proven join or cancel path
+//   - ctxguard:   no root contexts below serve entry points; blocking HTTP
+//     handlers thread r.Context()
+//   - digestpure: nothing reachable from digest inputs (Canonical/Digest/
+//     DigestHex, Cache.Put) observes wall clock, PIDs, env, or map order
 //
 // Each rule exists because a test tier already depends on it: seeded
 // chaos schedules digest to a stable FNV-1a value (PR 1), sweep
-// aggregates are byte-identical at any worker count (PR 2), and the
-// DESIGN.md §5 invariants back the paper's Figure 13–15 tables. The
-// analyzers make the corresponding bug classes unwritable instead of
-// merely untested.
+// aggregates are byte-identical at any worker count (PR 2), the serve
+// substrate drains cleanly under SIGTERM (PR 8), and the DESIGN.md §5
+// invariants back the paper's Figure 13–15 tables. The analyzers make
+// the corresponding bug classes unwritable instead of merely untested.
 //
 // Violations that are intentional are silenced in place with a
 // directive comment on the offending line or the line directly above:
@@ -22,7 +30,10 @@
 //	//gpureach:allow <analyzer>[,<analyzer>...] -- <justification>
 //
 // The justification is mandatory by convention (reviewers reject bare
-// allows) but not enforced mechanically.
+// allows) but not enforced mechanically. A directive that stops
+// suppressing anything is itself reported when Suite.ReportStale is
+// set (gpureachvet -stale-allows, the make lint default), so waivers
+// are pruned when the code they excused goes away.
 package analysis
 
 import (
@@ -117,6 +128,22 @@ func (p *Pass) FactOf(obj types.Object) (Fact, bool) {
 	}
 	f, ok := p.facts.m[factKey{obj, p.Analyzer.Name}]
 	return f, ok
+}
+
+// suiteState returns the suite-global state value for this pass's
+// analyzer under the given key, creating it with mk on first use. It
+// is keyed on the nil object (unreachable through SetFact/FactOf), so
+// an analyzer that needs whole-program state — the lockorder
+// acquisition graph, goroleak's closed-channel set — accumulates it
+// across every package of a Suite run in dependency order.
+func (p *Pass) suiteState(key string, mk func() Fact) Fact {
+	k := factKey{nil, p.Analyzer.Name + "/" + key}
+	if f, ok := p.facts.m[k]; ok {
+		return f
+	}
+	f := mk()
+	p.facts.m[k] = f
+	return f
 }
 
 // sortDiagnostics orders diagnostics by position for stable output.

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// This file holds the vocabulary shared by the concurrency analyzers
+// (lockorder, goroleak): recognizing sync-package primitive calls and
+// assigning the primitive operand a stable cross-package class name, so
+// "e.mu acquired in (*Engine).Submit" and "e.mu released in worker"
+// resolve to the same lock even though the receiver expressions differ.
+
+// syncCall describes one method call on a sync-package primitive.
+type syncCall struct {
+	// Recv is the primitive expression (`e.mu` in `e.mu.Lock()`).
+	Recv ast.Expr
+	// Type is the primitive's type name: Mutex, RWMutex, WaitGroup, Cond.
+	Type string
+	// Method is the method name: Lock, Unlock, RLock, RUnlock, Wait,
+	// Add, Done, ...
+	Method string
+}
+
+// asSyncCall decodes a call on a sync.Mutex/RWMutex/WaitGroup/Cond
+// receiver (directly or via an embedded field's promoted method).
+func asSyncCall(info *types.Info, call *ast.CallExpr) (syncCall, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return syncCall{}, false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return syncCall{}, false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return syncCall{}, false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return syncCall{}, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Cond":
+		return syncCall{Recv: sel.X, Type: named.Obj().Name(), Method: sel.Sel.Name}, true
+	}
+	return syncCall{}, false
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type behind t (through one pointer), or nil.
+func namedOf(t types.Type) *types.Named {
+	n, _ := derefType(t).(*types.Named)
+	return n
+}
+
+// objClass names a primitive (mutex, wait group, channel) expression
+// with an identity stable across the functions and packages that share
+// the underlying object:
+//
+//   - a field access x.f on a value of named type pkg.T → "pkg.T.f",
+//     so every method of T (and every client holding a T) agrees;
+//   - a package-level variable → "pkg.name";
+//   - a local variable → its declaration site, so the same local seen
+//     from a closure and its enclosing function still matches, while
+//     identically-named locals in different functions stay distinct;
+//   - anything else (map index, call result) → the expression text,
+//     scoped to the package.
+func objClass(pass *Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if n := namedOf(sel.Recv()); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok {
+					return varClass(pass, v)
+				}
+			}
+		}
+	case *ast.Ident:
+		if v := identVar(pass.Info, x); v != nil {
+			return varClass(pass, v)
+		}
+	}
+	return pass.Pkg.Path() + ":" + types.ExprString(e)
+}
+
+// identVar resolves an identifier to the variable it uses or defines.
+func identVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func varClass(pass *Pass, v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	p := pass.Fset.Position(v.Pos())
+	return fmt.Sprintf("%s:%d.%s", filepath.Base(p.Filename), p.Line, v.Name())
+}
+
+// shortClass trims the module prefix off a class name for diagnostics.
+func shortClass(class string) string {
+	const mod = "gpureach/internal/"
+	if len(class) > len(mod) && class[:len(mod)] == mod {
+		return class[len(mod):]
+	}
+	return class
+}
+
+// isChanType reports whether e's type is a channel.
+func isChanType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// selectHasDefault reports whether a select statement can never block.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// funcTypedParams collects the function-typed parameters of a function
+// type: calls through them are dynamic — lockorder treats them as
+// potentially blocking or re-entrant.
+func funcTypedParams(info *types.Info, ft *ast.FuncType) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	if ft == nil || ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dynamicCallee reports a call through a function-typed struct field
+// (opts.Progress(...), e.opts.RunFn(...)) or function-typed parameter:
+// the targets the compiler cannot see through, which lockorder must
+// assume may block or re-enter.
+func dynamicCallee(pass *Pass, call *ast.CallExpr, params map[*types.Var]bool) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok && sel.Kind() == types.FieldVal {
+			if _, isFunc := sel.Type().Underlying().(*types.Signature); isFunc {
+				return types.ExprString(fun), true
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[fun].(*types.Var); ok && params[v] {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxGuard keeps cancellation flowing through the serve substrate.
+// Below the server's entry points (the scope DefaultSuite pins to
+// internal/serve, internal/sweep and internal/metrics):
+//
+//   - context.Background() and context.TODO() are forbidden: a root
+//     context minted mid-stack disconnects the work under it from the
+//     caller's cancellation, so a dropped request keeps simulating.
+//     Roots belong at process entry points (cmd/...), which are outside
+//     the scope;
+//   - an HTTP handler (any function taking http.ResponseWriter and
+//     *http.Request) that blocks on channel operations must thread
+//     r.Context() — the handleEvents streaming idiom: every blocking
+//     select carries a <-ctx.Done() case, so a disconnected client
+//     releases the handler instead of leaking it.
+var CtxGuard = &Analyzer{
+	Name: "ctxguard",
+	Doc:  "no context.Background/TODO below serve entry points; blocking HTTP handlers must thread r.Context()",
+	Run:  runCtxGuard,
+}
+
+func runCtxGuard(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				f := calleeFunc(pass.Info, x)
+				if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+					return true
+				}
+				if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				if f.Name() == "Background" || f.Name() == "TODO" {
+					pass.Reportf(x.Pos(),
+						"context.%s mints a root context below a serve entry point; thread the caller's context (r.Context() in handlers) so cancellation propagates", f.Name())
+				}
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					checkHandler(pass, x.Name.Name, x.Type, x.Body, x.Pos())
+				}
+			case *ast.FuncLit:
+				checkHandler(pass, "handler literal", x.Type, x.Body, x.Pos())
+			}
+			return true
+		})
+	}
+}
+
+// checkHandler reports a handler-shaped function that blocks on channel
+// operations without ever asking for the request's context.
+func checkHandler(pass *Pass, name string, ft *ast.FuncType, body *ast.BlockStmt, pos token.Pos) {
+	if !isHandlerSignature(pass, ft) {
+		return
+	}
+	if blocksOnChannels(pass, body) && !usesRequestContext(pass, body) {
+		pass.Reportf(pos,
+			"HTTP handler %s blocks on channel operations without r.Context(); a disconnected client leaks the handler goroutine", name)
+	}
+}
+
+// isHandlerSignature matches functions taking both an
+// http.ResponseWriter and a *http.Request.
+func isHandlerSignature(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	hasWriter, hasRequest := false, false
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		switch {
+		case isNetHTTPType(tv.Type, "ResponseWriter"):
+			hasWriter = true
+		case isNetHTTPType(tv.Type, "Request"):
+			hasRequest = true
+		}
+	}
+	return hasWriter && hasRequest
+}
+
+func isNetHTTPType(t types.Type, name string) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == name
+}
+
+// blocksOnChannels reports whether the body (nested literals included —
+// the handler waits on whatever its closures wait on) contains a
+// potentially blocking channel operation.
+func blocksOnChannels(pass *Pass, body *ast.BlockStmt) bool {
+	blocking := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				blocking = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				blocking = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info, x.X) {
+				blocking = true
+			}
+		}
+		return true
+	})
+	return blocking
+}
+
+// usesRequestContext reports whether the body calls
+// (*http.Request).Context() anywhere.
+func usesRequestContext(pass *Pass, body *ast.BlockStmt) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Name() != "Context" || f.Pkg() == nil || f.Pkg().Path() != "net/http" {
+			return true
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if ok && sig.Recv() != nil && isNetHTTPType(sig.Recv().Type(), "Request") {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DigestPure is the compile-time generalization of the WallMS fix:
+// nothing reachable from a digest input may observe nondeterminism.
+//
+// Digest roots are the functions whose output is content-addressed or
+// persisted byte-identically: every function named Canonical, Digest or
+// DigestHex (core.Config.Canonical, sweep.Run.Canonical/Digest/
+// DigestHex, chaos.Injector.Digest), plus every `Put` method on a type
+// named Cache (the content-addressed store writes — a cache file's
+// bytes must depend only on the run).
+//
+// From each root, the analysis follows the call graph through
+// cross-package Facts and reports any path to:
+//
+//   - a nondeterministic source: time.Now/Since/Until, os.Getpid/
+//     Getenv/Environ/Hostname/Getwd, ambient math/rand, runtime.NumCPU/
+//     GOMAXPROCS;
+//   - a map range whose function never sorts afterwards (iteration
+//     order would leak into the bytes; the sortedKeys idiom — collect,
+//     then sort — stays legal);
+//   - a read of a wall-tainted field: any struct field assigned a
+//     wall-clock-derived value anywhere in the program (Record.WallMS
+//     in executeWithRetry) joins a suite-global taint set;
+//   - a json.Marshal/MarshalIndent whose argument type reaches a
+//     tainted exported field — unless the function overwrote that field
+//     with a constant first (the cleanse idiom: `rec.WallMS = 0` before
+//     Cache.Put marshals).
+//
+// Findings are reported at the root's declaration, naming the impurity
+// and its site, so the digest contract and its violation read together.
+var DigestPure = &Analyzer{
+	Name: "digestpure",
+	Doc:  "prove digest inputs (Canonical/Digest/DigestHex, Cache.Put) free of wall-clock, PID, env and map-order nondeterminism",
+	Run:  runDigestPure,
+}
+
+// digestImpureFuncs maps package path → function name → what it
+// observes. Package-level functions only; methods on explicitly
+// constructed values (a seeded *rand.Rand) are deterministic.
+var digestImpureFuncs = map[string]map[string]string{
+	"time":    {"Now": "reads the wall clock", "Since": "reads the wall clock", "Until": "reads the wall clock"},
+	"os":      {"Getpid": "reads the process ID", "Getppid": "reads the parent process ID", "Getenv": "reads the environment", "LookupEnv": "reads the environment", "Environ": "reads the environment", "Hostname": "reads the host name", "Getwd": "reads the working directory"},
+	"runtime": {"NumCPU": "depends on the host CPU count", "GOMAXPROCS": "depends on the scheduler setting"},
+}
+
+// digestWallFuncs are the sources whose assignment into a struct field
+// taints that field class program-wide.
+func isWallCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		return f.Name() == "Now" || f.Name() == "Since" || f.Name() == "Until"
+	case "math/rand", "math/rand/v2":
+		return true
+	}
+	return false
+}
+
+// impureUse is one direct nondeterminism observation inside a function.
+type impureUse struct {
+	what string
+	pos  token.Position
+}
+
+// fieldUse is one read of a struct field (class "pkg.Type.Field").
+type fieldUse struct {
+	class string
+	pos   token.Position
+}
+
+// marshalUse is one json.Marshal/MarshalIndent call: the static
+// argument type, plus the field classes the function constant-assigned
+// before the call (the cleanse idiom).
+type marshalUse struct {
+	argType  types.Type
+	cleansed map[string]bool
+	pos      token.Position
+}
+
+// digestFact is one function's purity summary, followed from roots.
+type digestFact struct {
+	impure   []impureUse
+	reads    []fieldUse
+	marshals []marshalUse
+	callees  []*types.Func
+}
+
+// wallTaint is the suite-global field-class taint set.
+type wallTaint struct{ classes map[string]token.Position }
+
+func runDigestPure(pass *Pass) {
+	taint := pass.suiteState("taint", func() Fact {
+		return &wallTaint{classes: map[string]token.Position{}}
+	}).(*wallTaint)
+
+	// Phase 1: facts for every function (and the taints they plant),
+	// before any root is judged — executeWithRetry taints
+	// Record.WallMS in the same package that declares Cache.Put.
+	var roots []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if f, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				pass.SetFact(f, scanDigestBody(pass, fd, taint))
+			}
+			if isDigestRoot(pass, fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	// Phase 2: depth-first through the facts from each root.
+	for _, fd := range roots {
+		reportDigestRoot(pass, fd, taint)
+	}
+}
+
+// isDigestRoot picks out the digest-input functions.
+func isDigestRoot(pass *Pass, fd *ast.FuncDecl) bool {
+	switch fd.Name.Name {
+	case "Canonical", "Digest", "DigestHex":
+		return true
+	case "Put":
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return false
+		}
+		if tv, ok := pass.Info.Types[fd.Recv.List[0].Type]; ok {
+			if n := namedOf(tv.Type); n != nil {
+				return n.Obj().Name() == "Cache"
+			}
+		}
+	}
+	return false
+}
+
+// scanDigestBody builds one function's fact. Nested literals fold into
+// the enclosing fact (chaos.Injector.Digest's local mix closure is part
+// of Digest for purity purposes).
+func scanDigestBody(pass *Pass, fd *ast.FuncDecl, taint *wallTaint) *digestFact {
+	fact := &digestFact{}
+	writes := map[ast.Expr]bool{} // assignment LHS nodes: writes, not reads
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lhs = ast.Unparen(lhs)
+			writes[lhs] = true
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || i >= len(assign.Rhs) {
+				continue
+			}
+			class, ok := fieldClass(pass, sel)
+			if !ok {
+				continue
+			}
+			// A wall-derived right-hand side taints the field class
+			// program-wide.
+			tainted := false
+			ast.Inspect(assign.Rhs[i], func(rn ast.Node) bool {
+				if call, ok := rn.(*ast.CallExpr); ok && isWallCall(pass.Info, call) {
+					tainted = true
+				}
+				return true
+			})
+			if tainted {
+				if _, seen := taint.classes[class]; !seen {
+					taint.classes[class] = pass.Fset.Position(assign.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			f := calleeFunc(pass.Info, x)
+			if f == nil {
+				return true
+			}
+			if f.Pkg() != nil {
+				if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() == nil {
+					path := f.Pkg().Path()
+					if what, ok := digestImpureFuncs[path][f.Name()]; ok {
+						fact.impure = append(fact.impure, impureUse{
+							what: fmt.Sprintf("%s.%s %s", f.Pkg().Name(), f.Name(), what),
+							pos:  pass.Fset.Position(x.Pos()),
+						})
+					} else if path == "math/rand" || path == "math/rand/v2" {
+						fact.impure = append(fact.impure, impureUse{
+							what: fmt.Sprintf("%s.%s draws ambient randomness", f.Pkg().Name(), f.Name()),
+							pos:  pass.Fset.Position(x.Pos()),
+						})
+					}
+					if path == "encoding/json" && (f.Name() == "Marshal" || f.Name() == "MarshalIndent") && len(x.Args) >= 1 {
+						if tv, ok := pass.Info.Types[x.Args[0]]; ok && tv.Type != nil {
+							fact.marshals = append(fact.marshals, marshalUse{
+								argType:  tv.Type,
+								cleansed: cleansedBefore(pass, fd.Body, x.Args[0], x.Pos()),
+								pos:      pass.Fset.Position(x.Pos()),
+							})
+						}
+					}
+				}
+			}
+			fact.callees = append(fact.callees, f)
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !sortsAfter(pass, fd.Body, x.Pos()) {
+					fact.impure = append(fact.impure, impureUse{
+						what: "ranges a map in nondeterministic order with no sort afterwards",
+						pos:  pass.Fset.Position(x.Pos()),
+					})
+				}
+			}
+		case *ast.SelectorExpr:
+			if writes[x] {
+				return true
+			}
+			if class, ok := fieldClass(pass, x); ok {
+				fact.reads = append(fact.reads, fieldUse{class: class, pos: pass.Fset.Position(x.Pos())})
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// fieldClass names a field selector "pkg.Type.Field", matching the
+// classes the type-reachability walk produces.
+func fieldClass(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	n := namedOf(s.Recv())
+	if n == nil || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + sel.Sel.Name, true
+}
+
+// cleansedBefore collects the field classes constant-assigned on the
+// marshal argument before pos: `rec.WallMS = 0` ahead of
+// json.MarshalIndent(rec, ...) proves WallMS cannot leak into the
+// bytes.
+func cleansedBefore(pass *Pass, body *ast.BlockStmt, arg ast.Expr, pos token.Pos) map[string]bool {
+	base := types.ExprString(ast.Unparen(arg))
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Pos() >= pos {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || i >= len(assign.Rhs) {
+				continue
+			}
+			if types.ExprString(ast.Unparen(sel.X)) != base {
+				continue
+			}
+			tv, ok := pass.Info.Types[assign.Rhs[i]]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if class, ok := fieldClass(pass, sel); ok {
+				out[class] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortsAfter reports whether the function calls into sort or slices
+// after pos — the collect-then-sort idiom that makes a map range
+// deterministic.
+func sortsAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		if f := calleeFunc(pass.Info, call); f != nil && f.Pkg() != nil {
+			if p := f.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// reportDigestRoot walks the fact graph from one root and reports every
+// reachable impurity at the root's declaration.
+func reportDigestRoot(pass *Pass, fd *ast.FuncDecl, taint *wallTaint) {
+	rootObj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	seen := map[*types.Func]bool{}
+	reported := map[string]bool{}
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		fact, ok := pass.FactOf(f)
+		if !ok {
+			return
+		}
+		df := fact.(*digestFact)
+		for _, use := range df.impure {
+			report(pass, fd, reported, fmt.Sprintf("%s (%s)", use.what, shortPos(use.pos)))
+		}
+		for _, read := range df.reads {
+			if tpos, tainted := taint.classes[read.class]; tainted {
+				report(pass, fd, reported, fmt.Sprintf("reads %s, wall-tainted at %s (%s)",
+					shortClass(read.class), shortPos(tpos), shortPos(read.pos)))
+			}
+		}
+		for _, m := range df.marshals {
+			for _, class := range reachableTaints(m.argType, taint) {
+				if m.cleansed[class] {
+					continue
+				}
+				report(pass, fd, reported, fmt.Sprintf("marshals %s, wall-tainted at %s, without cleansing it first (%s)",
+					shortClass(class), shortPos(taint.classes[class]), shortPos(m.pos)))
+			}
+		}
+		for _, callee := range df.callees {
+			visit(callee)
+		}
+	}
+	visit(rootObj)
+}
+
+// report emits one deduplicated diagnostic at the root declaration.
+func report(pass *Pass, fd *ast.FuncDecl, reported map[string]bool, detail string) {
+	if reported[detail] {
+		return
+	}
+	reported[detail] = true
+	pass.Reportf(fd.Pos(), "%s feeds a content-addressed digest but %s", fd.Name.Name, detail)
+}
+
+func shortPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d", trimPath(p.Filename), p.Line)
+}
+
+func trimPath(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// reachableTaints returns the tainted field classes reachable from t
+// through exported fields (what encoding/json serializes), sorted for
+// deterministic reporting.
+func reachableTaints(t types.Type, taint *wallTaint) []string {
+	found := map[string]bool{}
+	seenTypes := map[string]bool{}
+	var walk func(types.Type)
+	walk = func(t types.Type) {
+		t = derefType(t)
+		key := types.TypeString(t, nil)
+		if seenTypes[key] {
+			return
+		}
+		seenTypes[key] = true
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			n := namedOf(t)
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if !f.Exported() {
+					continue // encoding/json never sees it
+				}
+				if n != nil && n.Obj().Pkg() != nil {
+					class := n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + f.Name()
+					if _, ok := taint.classes[class]; ok {
+						found[class] = true
+					}
+				}
+				walk(f.Type())
+			}
+		case *types.Slice:
+			walk(u.Elem())
+		case *types.Array:
+			walk(u.Elem())
+		case *types.Map:
+			walk(u.Key())
+			walk(u.Elem())
+		case *types.Pointer:
+			walk(u.Elem())
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(found))
+	for c := range found {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

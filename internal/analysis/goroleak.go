@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement in non-test code to carry a
+// provable join or cancel path. A goroutine with none is a leak the
+// moment its channel peer stalls or its work outlives the campaign —
+// the failure mode Drain/Close exist to prevent in serve and sweep.
+//
+// A spawn is accepted when the spawned body (a function literal, or a
+// named function's cross-package Fact):
+//
+//   - pairs with a WaitGroup: the body calls Done on a wait-group class
+//     the spawning function Adds to (sweep.Engine.wg workers,
+//     serve.Server.wg campaign runners);
+//   - selects on a context's Done() channel, so caller cancellation
+//     reaches it;
+//   - receives from or ranges over a channel class that some function
+//     in the program closes (the owned-channel shutdown idiom:
+//     `for f := range e.jobs` + `close(e.jobs)` in Close);
+//   - or performs no blocking channel operation except sends into
+//     buffered channels the spawner itself made with capacity ≥ 1 (the
+//     one-shot result idiom: `errc := make(chan error, 1); go func() {
+//     errc <- srv.Serve(ln) }()`) — such a body cannot block on its
+//     channels, so it retires on its own.
+//
+// Everything else is reported at the spawn site. The facts fold nested
+// literals (a Done inside a deferred closure still counts) and union
+// across direct callees to a fixpoint, so helper indirection does not
+// hide a legitimate join path.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement needs a proven join/cancel path: WaitGroup pairing, context-done select, closed-channel receive, or owned buffered results",
+	Run:  runGoroLeak,
+}
+
+// goroFact is what one function contributes to join-path reasoning.
+type goroFact struct {
+	dones    map[string]bool // WaitGroup classes Done'd anywhere in the body
+	adds     map[string]bool // WaitGroup classes Add'ed anywhere in the body
+	receives map[string]bool // channel classes received from or ranged over
+	ctxDone  bool            // receives from a context.Context's Done()
+}
+
+func newGoroFact() *goroFact {
+	return &goroFact{dones: map[string]bool{}, adds: map[string]bool{}, receives: map[string]bool{}}
+}
+
+// merge folds o into f, reporting whether f grew.
+func (f *goroFact) merge(o *goroFact) bool {
+	changed := false
+	for c := range o.dones {
+		if !f.dones[c] {
+			f.dones[c] = true
+			changed = true
+		}
+	}
+	for c := range o.receives {
+		if !f.receives[c] {
+			f.receives[c] = true
+			changed = true
+		}
+	}
+	if o.ctxDone && !f.ctxDone {
+		f.ctxDone = true
+		changed = true
+	}
+	return changed
+}
+
+// closedChans is the suite-global set of channel classes some function
+// closes — the cross-package half of the owned-channel shutdown idiom.
+type closedChans struct{ classes map[string]bool }
+
+func runGoroLeak(pass *Pass) {
+	closed := pass.suiteState("closed", func() Fact {
+		return &closedChans{classes: map[string]bool{}}
+	}).(*closedChans)
+
+	// Phase 1: per-function facts plus the closed-channel set, then a
+	// fixpoint folding direct callees so helpers don't hide join paths.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			f, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[f] = fd
+			pass.SetFact(f, scanGoroBody(pass, fd.Body, closed))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, fd := range decls {
+			fact, _ := pass.FactOf(f)
+			gf := fact.(*goroFact)
+			for callee := range directCallees(pass, fd) {
+				if cfact, ok := pass.FactOf(callee); ok {
+					if gf.merge(cfact.(*goroFact)) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: judge every spawn site against the facts.
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			spawnerFact := newGoroFact()
+			if f, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				if fact, ok := pass.FactOf(f); ok {
+					spawnerFact = fact.(*goroFact)
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkSpawn(pass, fd, spawnerFact, g, closed)
+				return true
+			})
+		}
+	}
+}
+
+// scanGoroBody computes the fact of one body, folding nested literals
+// (a Done in a deferred closure still joins) and recording every
+// close() into the suite-global set.
+func scanGoroBody(pass *Pass, body *ast.BlockStmt, closed *closedChans) *goroFact {
+	f := newGoroFact()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sc, ok := asSyncCall(pass.Info, x); ok && sc.Type == "WaitGroup" {
+				switch sc.Method {
+				case "Done":
+					f.dones[objClass(pass, sc.Recv)] = true
+				case "Add":
+					f.adds[objClass(pass, sc.Recv)] = true
+				}
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && len(x.Args) == 1 {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					closed.classes[objClass(pass, x.Args[0])] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				f.noteReceive(pass, x.X)
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info, x.X) {
+				f.noteReceive(pass, x.X)
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// noteReceive classifies one received-from channel expression: a
+// context's Done() marks cancellation support, anything else records
+// the channel class.
+func (f *goroFact) noteReceive(pass *Pass, ch ast.Expr) {
+	ch = ast.Unparen(ch)
+	if call, ok := ch.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Name() == "Done" &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			f.ctxDone = true
+		}
+		return
+	}
+	f.receives[objClass(pass, ch)] = true
+}
+
+// checkSpawn applies the acceptance rules to one go statement.
+func checkSpawn(pass *Pass, spawner *ast.FuncDecl, spawnerFact *goroFact, g *ast.GoStmt, closed *closedChans) {
+	var bodyFact *goroFact
+	var lit *ast.FuncLit
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		lit = fun
+		bodyFact = scanGoroBody(pass, fun.Body, closed)
+		// One level of callee folding, mirroring the fixpoint named
+		// functions get.
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if f := calleeFunc(pass.Info, call); f != nil {
+					if fact, ok := pass.FactOf(f); ok {
+						bodyFact.merge(fact.(*goroFact))
+					}
+				}
+			}
+			return true
+		})
+	default:
+		if f := calleeFunc(pass.Info, g.Call); f != nil {
+			if fact, ok := pass.FactOf(f); ok {
+				bodyFact = fact.(*goroFact)
+			}
+		}
+	}
+	if bodyFact == nil {
+		pass.Reportf(g.Pos(),
+			"goroutine spawns a function the analysis has no body for; give it a provable join/cancel path or a //gpureach:allow goroleak waiver")
+		return
+	}
+
+	for class := range bodyFact.dones {
+		if spawnerFact.adds[class] {
+			return // WaitGroup Add/Done pairing
+		}
+	}
+	if bodyFact.ctxDone {
+		return // caller cancellation reaches it
+	}
+	for class := range bodyFact.receives {
+		if closed.classes[class] {
+			return // owned-channel shutdown: someone closes what it drains
+		}
+	}
+	if lit != nil && bufferedResultIdiom(pass, spawner.Body, lit) {
+		return // one-shot result into an owned buffered channel
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no proven join or cancel path: pair it with a WaitGroup Add/Done, select on a context's Done(), range a channel that is closed on shutdown, or send results into a spawner-owned buffered channel")
+}
+
+// bufferedResultIdiom accepts a literal whose only blocking channel
+// operations are sends into channels the spawner made with constant
+// capacity ≥ 1 — it cannot block on its channels, so it retires on its
+// own even if nobody reads the result.
+func bufferedResultIdiom(pass *Pass, spawnerBody *ast.BlockStmt, lit *ast.FuncLit) bool {
+	ok := true
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			id, isIdent := ast.Unparen(x.Chan).(*ast.Ident)
+			if !isIdent || !ownedBufferedChan(pass, spawnerBody, identVar(pass.Info, id)) {
+				ok = false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ok = false
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info, x.X) {
+				ok = false
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				ok = false
+			}
+		case *ast.CallExpr:
+			if sc, scOk := asSyncCall(pass.Info, x); scOk && sc.Method == "Wait" {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// ownedBufferedChan reports whether v is assigned `make(chan T, n)`
+// with constant n ≥ 1 somewhere in the spawner's body.
+func ownedBufferedChan(pass *Pass, spawnerBody *ast.BlockStmt, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(spawnerBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || identVar(pass.Info, id) != v || i >= len(assign.Rhs) {
+				continue
+			}
+			call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				continue
+			}
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[fn].(*types.Builtin); ok && b.Name() == "make" {
+					if tv, ok := pass.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+						if cap, exact := constant.Int64Val(tv.Value); exact && cap >= 1 {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoaderHandlesGenerics pins the loader's type-parameterized
+// surface: the generics fixture (generic structs, methods on generic
+// receivers, union constraints, instantiations) must parse and
+// type-check cleanly under the source loader, and the analyzers must
+// still find the violation seeded inside a generic function body.
+func TestLoaderHandlesGenerics(t *testing.T) {
+	dir := filepath.Join("testdata", "generics")
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.LoadErrs) > 0 {
+		t.Fatalf("generics fixture does not type-check: %v", pkg.LoadErrs)
+	}
+	diags, err := DefaultSuite().RunDir(l, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "detclock" {
+		t.Fatalf("want exactly one detclock diagnostic from inside the generic helper, got %v", diags)
+	}
+}
+
+// TestLoaderSkipsBuildExcludedFiles pins the loader's build-tag
+// handling: a //go:build-excluded file's violations must not be
+// reported (go/build never hands the file to the parser), while the
+// included file's violation is.
+func TestLoaderSkipsBuildExcludedFiles(t *testing.T) {
+	// The fixture must live inside the module for LoadDir, so build it
+	// under testdata at runtime (the _ prefix keeps it out of ./...).
+	dir := filepath.Join("testdata", "_buildtags")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	included := `package buildtags
+
+import "time"
+
+func active() time.Time {
+	return time.Now()
+}
+`
+	excluded := `//go:build gpureach_never_built
+
+package buildtags
+
+import "time"
+
+func inactive() time.Time {
+	return time.Sleep(0), time.Now() // would not even parse as Go; must never be read
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(included), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b_excluded.go"), []byte(excluded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		if name := filepath.Base(l.Fset.Position(f.Pos()).Filename); name != "a.go" {
+			t.Fatalf("loader parsed build-excluded file %s", name)
+		}
+	}
+	diags, err := DefaultSuite().RunDir(l, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "detclock" ||
+		!strings.HasSuffix(diags[0].Pos.Filename, "a.go") {
+		t.Fatalf("want exactly one detclock diagnostic from a.go, got %v", diags)
+	}
+}

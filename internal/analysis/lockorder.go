@@ -1,0 +1,505 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder proves the mutex discipline of the concurrent substrate
+// (serve, sweep, metrics — and anything else that grows locks) at
+// compile time, with a flow-sensitive walk in the schedguard style:
+//
+//   - the acquisition graph — an edge A→B whenever B is acquired (or a
+//     function acquiring B is called) while A is held — must stay
+//     acyclic, which is the partial order DESIGN.md §5 documents;
+//   - no lock may be re-acquired while already held (sync.Mutex is not
+//     reentrant: a same-class nested Lock is a guaranteed self-deadlock);
+//   - no lock may be held across a blocking channel operation (send,
+//     receive, range, or a select without a default) — a stalled peer
+//     would wedge every other holder of the lock. close() and
+//     select-with-default are exempt: they never block;
+//   - no lock may be held across sync.WaitGroup.Wait or sync.Cond.Wait;
+//   - no lock may be held across a dynamic call (a function-typed
+//     struct field like Options.Progress/RunFn, or a function-typed
+//     parameter): the callee is invisible to the analysis and may block
+//     or call back into the locked structure.
+//
+// Lock identity is classed by owning struct type ("sweep.Engine.mu"),
+// package-level variable, or local declaration site, so every method
+// and closure touching the same mutex lands on the same graph node.
+// Per-function acquisition sets are inferred fixpoint-style and
+// propagated cross-package as Facts, so serve calling into sweep and
+// metrics contributes edges to one shared graph.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "prove the mutex acquisition graph acyclic and no lock held across blocking channel ops, Waits, or dynamic calls",
+	Run:  runLockOrder,
+}
+
+// lockFact is the set of lock classes a function may acquire, directly
+// or through its callees.
+type lockFact struct{ acquires map[string]bool }
+
+// lockGraph is the suite-global acquisition graph.
+type lockGraph struct {
+	// edges[a][b] is set when b was acquired while a was held.
+	edges map[string]map[string]bool
+}
+
+func (g *lockGraph) addEdge(a, b string) (added bool) {
+	if a == b {
+		return false
+	}
+	if g.edges[a] == nil {
+		g.edges[a] = map[string]bool{}
+	}
+	if g.edges[a][b] {
+		return false
+	}
+	g.edges[a][b] = true
+	return true
+}
+
+// pathTo returns a lock-order path from src to dst, or nil.
+func (g *lockGraph) pathTo(src, dst string, seen map[string]bool) []string {
+	if src == dst {
+		return []string{src}
+	}
+	if seen[src] {
+		return nil
+	}
+	seen[src] = true
+	for next := range g.edges[src] {
+		if p := g.pathTo(next, dst, seen); p != nil {
+			return append([]string{src}, p...)
+		}
+	}
+	return nil
+}
+
+func runLockOrder(pass *Pass) {
+	graph := pass.suiteState("graph", func() Fact {
+		return &lockGraph{edges: map[string]map[string]bool{}}
+	}).(*lockGraph)
+
+	// Phase 1: per-function acquisition sets, to a fixpoint so
+	// intra-package call chains (in any declaration order) converge.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if f, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[f] = fd
+				pass.SetFact(f, &lockFact{acquires: directAcquires(pass, fd)})
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, fd := range decls {
+			fact, _ := pass.FactOf(f)
+			lf := fact.(*lockFact)
+			for callee := range directCallees(pass, fd) {
+				cf, ok := pass.FactOf(callee)
+				if !ok {
+					continue
+				}
+				for class := range cf.(*lockFact).acquires {
+					if !lf.acquires[class] {
+						lf.acquires[class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: flow-sensitive held-set walk over every function and
+	// every nested literal (each literal starts lock-free: it may run
+	// on any goroutine).
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockFlow(pass, graph, fd.Type, fd.Body)
+		}
+	}
+}
+
+// directAcquires collects the lock classes Lock'd/RLock'd in the
+// function's own statements (nested literals excluded — they run on
+// their own schedule and are walked as independent roots).
+func directAcquires(pass *Pass, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	inspectOutsideLits(fd.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if sc, ok := asSyncCall(pass.Info, call); ok &&
+			(sc.Type == "Mutex" || sc.Type == "RWMutex") &&
+			(sc.Method == "Lock" || sc.Method == "RLock") {
+			out[objClass(pass, sc.Recv)] = true
+		}
+	})
+	return out
+}
+
+// directCallees collects the module functions called from the
+// function's own statements.
+func directCallees(pass *Pass, fd *ast.FuncDecl) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	inspectOutsideLits(fd.Body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if f := calleeFunc(pass.Info, call); f != nil {
+				out[f] = true
+			}
+		}
+	})
+	return out
+}
+
+// inspectOutsideLits visits every node of body except those inside
+// nested function literals.
+func inspectOutsideLits(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// lockWalker carries the held-set state through one function body.
+type lockWalker struct {
+	pass   *Pass
+	graph  *lockGraph
+	params map[*types.Var]bool  // function-typed parameters (dynamic calls)
+	held   map[string]token.Pos // lock class → acquisition site
+	lits   []*ast.FuncLit       // nested literals, walked as fresh roots
+}
+
+// checkLockFlow walks one function (or literal) body and recursively
+// every literal discovered inside it.
+func checkLockFlow(pass *Pass, graph *lockGraph, ft *ast.FuncType, body *ast.BlockStmt) {
+	w := &lockWalker{
+		pass:   pass,
+		graph:  graph,
+		params: funcTypedParams(pass.Info, ft),
+		held:   map[string]token.Pos{},
+	}
+	w.walkStmts(body.List)
+	for _, lit := range w.lits {
+		checkLockFlow(pass, graph, lit.Type, lit.Body)
+	}
+}
+
+func (w *lockWalker) clone() map[string]token.Pos {
+	c := make(map[string]token.Pos, len(w.held))
+	for k, v := range w.held {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeUnion folds another branch's out-state into held: a lock held on
+// any path into the join is treated as held after it (conservative for
+// the held-across checks).
+func (w *lockWalker) mergeUnion(other map[string]token.Pos) {
+	for k, v := range other {
+		if _, ok := w.held[k]; !ok {
+			w.held[k] = v
+		}
+	}
+}
+
+// heldClasses lists the held locks in deterministic report order.
+func (w *lockWalker) heldClasses() []string {
+	var out []string
+	for c := range w.held {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (w *lockWalker) acquire(class string, isRLock bool, pos token.Pos) {
+	if _, already := w.held[class]; already && !isRLock {
+		w.pass.Reportf(pos,
+			"%s.Lock() while %s is already held: sync.Mutex is not reentrant, this self-deadlocks",
+			shortClass(class), shortClass(class))
+	}
+	for _, a := range w.heldClasses() {
+		w.addEdge(a, class, pos)
+	}
+	w.held[class] = pos
+}
+
+// addEdge inserts a→b into the global graph and reports when the new
+// edge closes a cycle in the acquisition order.
+func (w *lockWalker) addEdge(a, b string, pos token.Pos) {
+	if a == b {
+		return
+	}
+	if back := w.graph.pathTo(b, a, map[string]bool{}); back != nil {
+		if w.graph.addEdge(a, b) {
+			short := make([]string, len(back))
+			for i, c := range back {
+				short[i] = shortClass(c)
+			}
+			w.pass.Reportf(pos,
+				"acquiring %s while holding %s creates a lock-order cycle (%s → %s elsewhere)",
+				shortClass(b), shortClass(a), strings.Join(short, " → "), shortClass(a))
+		}
+		return
+	}
+	w.graph.addEdge(a, b)
+}
+
+// checkCall applies the held-across rules to one call expression.
+func (w *lockWalker) checkCall(call *ast.CallExpr) {
+	if sc, ok := asSyncCall(w.pass.Info, call); ok {
+		class := objClass(w.pass, sc.Recv)
+		switch {
+		case sc.Method == "Lock" || sc.Method == "RLock":
+			w.acquire(class, sc.Method == "RLock", call.Pos())
+		case sc.Method == "Unlock" || sc.Method == "RUnlock":
+			delete(w.held, class)
+		case sc.Method == "Wait" && len(w.held) > 0:
+			w.pass.Reportf(call.Pos(),
+				"sync.%s.Wait while holding %s: a waited-on goroutine that needs the lock deadlocks",
+				sc.Type, shortClass(w.heldClasses()[0]))
+		}
+		return
+	}
+	if len(w.held) == 0 {
+		return
+	}
+	if name, ok := dynamicCallee(w.pass, call, w.params); ok {
+		w.pass.Reportf(call.Pos(),
+			"dynamic call %s(...) while holding %s: the callback is invisible to analysis and may block or re-enter the lock",
+			name, shortClass(w.heldClasses()[0]))
+		return
+	}
+	if f := calleeFunc(w.pass.Info, call); f != nil {
+		if fact, ok := w.pass.FactOf(f); ok {
+			for _, acquired := range sortedClasses(fact.(*lockFact).acquires) {
+				if _, same := w.held[acquired]; same {
+					w.pass.Reportf(call.Pos(),
+						"call to %s while holding %s, which it acquires itself: self-deadlock",
+						f.Name(), shortClass(acquired))
+					continue
+				}
+				for _, a := range w.heldClasses() {
+					w.addEdge(a, acquired, call.Pos())
+				}
+			}
+		}
+	}
+}
+
+func sortedClasses(m map[string]bool) []string {
+	var out []string
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scanExpr checks calls and channel receives in an expression tree,
+// queueing nested literals for their own walk.
+func (w *lockWalker) scanExpr(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, e)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(e)
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW && len(w.held) > 0 {
+				w.pass.Reportf(e.Pos(),
+					"channel receive while holding %s: a stalled sender wedges every other holder of the lock",
+					shortClass(w.heldClasses()[0]))
+			}
+		}
+		return true
+	})
+}
+
+// collectLits queues the literals of a subtree without running any
+// checks — for defer and go statements, whose calls do not execute at
+// this program point.
+func (w *lockWalker) collectLits(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		w.walkStmt(st)
+	}
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(x.X)
+	case *ast.SendStmt:
+		if len(w.held) > 0 {
+			w.pass.Reportf(x.Pos(),
+				"channel send while holding %s: a full channel wedges every other holder of the lock",
+				shortClass(w.heldClasses()[0]))
+		}
+		w.scanExpr(x.Chan)
+		w.scanExpr(x.Value)
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.ReturnStmt:
+		w.scanExpr(st)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end, which
+		// the held set already models by never releasing it. Other
+		// deferred calls run at return, outside this flow — only their
+		// literals need walking.
+		if sc, ok := asSyncCall(w.pass.Info, x.Call); ok &&
+			(sc.Method == "Unlock" || sc.Method == "RUnlock") {
+			return
+		}
+		w.collectLits(x.Call)
+	case *ast.GoStmt:
+		// Spawning never blocks; the spawned body runs lock-free on its
+		// own goroutine and is walked as an independent root.
+		w.collectLits(x.Call)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.scanExpr(x.Cond)
+		base := w.clone()
+		w.walkStmts(x.Body.List)
+		thenOut := w.held
+		w.held = base
+		if x.Else != nil {
+			switch els := x.Else.(type) {
+			case *ast.BlockStmt:
+				w.walkStmts(els.List)
+			case ast.Stmt:
+				w.walkStmt(els)
+			}
+		}
+		elseOut := w.held
+		switch {
+		case terminates(x.Body.List):
+			w.held = elseOut
+		case x.Else != nil && elseTerminates(x.Else):
+			w.held = thenOut
+		default:
+			w.held = thenOut
+			w.mergeUnion(elseOut)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.scanExpr(x.Cond)
+		entry := w.clone()
+		w.walkStmts(x.Body.List)
+		if x.Post != nil {
+			w.walkStmt(x.Post)
+		}
+		w.mergeUnion(entry)
+	case *ast.RangeStmt:
+		if isChanType(w.pass.Info, x.X) && len(w.held) > 0 {
+			w.pass.Reportf(x.Pos(),
+				"range over a channel while holding %s: the loop blocks until the channel closes",
+				shortClass(w.heldClasses()[0]))
+		}
+		w.scanExpr(x.X)
+		entry := w.clone()
+		w.walkStmts(x.Body.List)
+		w.mergeUnion(entry)
+	case *ast.BlockStmt:
+		w.walkStmts(x.List)
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.scanExpr(x.Tag)
+		w.walkClauses(x.Body, false)
+	case *ast.TypeSwitchStmt:
+		w.walkClauses(x.Body, false)
+	case *ast.SelectStmt:
+		if !selectHasDefault(x) && len(w.held) > 0 {
+			w.pass.Reportf(x.Pos(),
+				"blocking select while holding %s: no case may be ready, wedging every other holder of the lock",
+				shortClass(w.heldClasses()[0]))
+		}
+		// Comm statements are part of the select's atomic choice (and
+		// already covered by the blocking-select report above), so only
+		// the clause bodies are walked.
+		w.walkClauses(x.Body, true)
+	default:
+		w.scanExpr(st)
+	}
+}
+
+// walkClauses walks each case body from a clone of the entry state and
+// unions the outcomes. commOnlyBodies skips the comm statements of
+// select clauses (handled at the select level).
+func (w *lockWalker) walkClauses(body *ast.BlockStmt, commOnlyBodies bool) {
+	entry := w.clone()
+	out := w.clone()
+	for _, cl := range body.List {
+		w.held = cloneHeld(entry)
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			w.walkStmts(c.Body)
+		case *ast.CommClause:
+			if !commOnlyBodies && c.Comm != nil {
+				w.walkStmt(c.Comm)
+			}
+			if commOnlyBodies && c.Comm != nil {
+				w.collectLits(c.Comm)
+			}
+			w.walkStmts(c.Body)
+		}
+		for k, v := range w.held {
+			if _, ok := out[k]; !ok {
+				out[k] = v
+			}
+		}
+	}
+	w.held = out
+}
+
+func cloneHeld(m map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

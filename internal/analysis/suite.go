@@ -20,6 +20,12 @@ type Rule struct {
 // run them over a dependency-closed package set with shared facts.
 type Suite struct {
 	Rules []Rule
+	// ReportStale adds a diagnostic (under StaleAllowAnalyzer) for
+	// every //gpureach:allow directive in a requested package that
+	// suppressed nothing — waivers must not outlive the violations
+	// they excuse. Meaningful only when the full suite runs: with a
+	// subset of analyzers, unrelated directives would be flagged.
+	ReportStale bool
 }
 
 // simPackages are the packages holding timing models and everything
@@ -49,7 +55,19 @@ func simErrPackage(path string) bool {
 		path == "gpureach/internal/serve"
 }
 
-// DefaultSuite wires the five analyzers to the repo's real invariant
+// concurrentPackage scopes ctxguard to the concurrent substrate: the
+// campaign server, the submit/observe sweep engine, and the metrics
+// registry it publishes. cmd/ is deliberately outside: process entry
+// points are exactly where root contexts are minted.
+func concurrentPackage(path string) bool {
+	switch path {
+	case "gpureach/internal/serve", "gpureach/internal/sweep", "gpureach/internal/metrics":
+		return true
+	}
+	return false
+}
+
+// DefaultSuite wires the nine analyzers to the repo's real invariant
 // surfaces (the compile-time column of DESIGN.md §5).
 func DefaultSuite() *Suite {
 	return &Suite{Rules: []Rule{
@@ -58,6 +76,10 @@ func DefaultSuite() *Suite {
 		{Analyzer: MapOrder},   // everywhere: output order matters wherever output is written
 		{Analyzer: FloatOrder}, // everywhere: aggregation lives outside the sim packages
 		{Analyzer: SchedGuard}, // everywhere a sim.Engine is driven
+		{Analyzer: LockOrder},  // everywhere: mutexes guard state in serve, sweep, metrics and sim
+		{Analyzer: GoroLeak},   // everywhere: every spawned goroutine needs a join or cancel path
+		{Analyzer: CtxGuard, Match: concurrentPackage},
+		{Analyzer: DigestPure}, // everywhere a Canonical/Digest root or cache write lives
 	}}
 }
 
@@ -116,11 +138,24 @@ func (s *Suite) Run(l *Loader, paths []string) ([]Diagnostic, error) {
 			}
 			rule.Analyzer.Run(pass)
 		}
-		pkgDiags = filterAllowed(l.Fset, pkg.Files, pkgDiags)
-		diags = append(diags, pkgDiags...)
+		kept, directives := filterAllowed(l.Fset, pkg.Files, pkgDiags)
+		diags = append(diags, kept...)
+		if s.ReportStale && requested[pkg.Path] {
+			diags = append(diags, staleDiagnostics(directives, s.knownAnalyzers())...)
+		}
 	}
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// knownAnalyzers is the set of analyzer names stale detection treats
+// as spellable in a directive.
+func (s *Suite) knownAnalyzers() map[string]bool {
+	known := map[string]bool{}
+	for _, r := range s.Rules {
+		known[r.Analyzer.Name] = true
+	}
+	return known
 }
 
 // RunDir analyzes a single package directory (fixture packages in
@@ -155,9 +190,12 @@ func (s *Suite) RunDir(l *Loader, dir string) ([]Diagnostic, error) {
 			}
 		}
 	}
-	diags = filterAllowed(l.Fset, pkg.Files, diags)
-	sortDiagnostics(diags)
-	return diags, nil
+	kept, directives := filterAllowed(l.Fset, pkg.Files, diags)
+	if s.ReportStale {
+		kept = append(kept, staleDiagnostics(directives, s.knownAnalyzers())...)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
 }
 
 // topoLocal returns the module-local packages reachable from roots in

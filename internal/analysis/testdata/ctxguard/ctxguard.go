@@ -1,0 +1,49 @@
+// Package ctxguard exercises the ctxguard analyzer: minting a root
+// context below a serve entry point fires, as does an HTTP handler
+// that blocks on channels without threading r.Context(); the
+// streaming handler with a Done case, the non-blocking handler, and
+// an explicitly waived root stay silent.
+package ctxguard
+
+import (
+	"context"
+	"net/http"
+)
+
+// mintRoot disconnects everything under it from caller cancellation:
+// a dropped request keeps simulating forever.
+func mintRoot() context.Context {
+	return context.Background() // want "context.Background mints a root context"
+}
+
+// mintTODO is the same bug behind the placeholder constructor.
+func mintTODO() context.Context {
+	return context.TODO() // want "context.TODO mints a root context"
+}
+
+// leakyHandler parks on a channel with no way for a disconnected
+// client to release it — the handler goroutine leaks.
+func leakyHandler(w http.ResponseWriter, r *http.Request, events chan int) { // want "blocks on channel operations without r.Context"
+	<-events
+}
+
+// streamingHandler is the sanctioned shape: every blocking select
+// carries the request context's Done case.
+func streamingHandler(w http.ResponseWriter, r *http.Request, events chan int) {
+	ctx := r.Context()
+	select {
+	case <-events:
+	case <-ctx.Done():
+	}
+}
+
+// quickHandler never blocks, so it needs no cancellation path.
+func quickHandler(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// allowedRoot is the escape hatch for a sanctioned detached scope.
+func allowedRoot() context.Context {
+	//gpureach:allow ctxguard -- fixture: detached audit scope outlives the request by design
+	return context.Background()
+}

@@ -1,0 +1,100 @@
+// Package digestpure exercises the digestpure analyzer: digest roots
+// (Canonical/Digest/DigestHex and Cache.Put) that reach the wall
+// clock, read or marshal a wall-tainted field, or range a map
+// unsorted all fire — reported at the root's declaration; the cleanse
+// idiom (zero the field before marshaling), the collect-then-sort
+// idiom, and an explicitly waived root stay silent.
+package digestpure
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Record is the journal-row stand-in; measure wall-taints WallMS.
+type Record struct {
+	App    string
+	WallMS float64
+}
+
+// measure plants the program-wide taint on Record.WallMS: any digest
+// root that lets this field reach its bytes is nondeterministic.
+func measure(rec *Record, work func()) {
+	//gpureach:allow detclock -- fixture: the taint source under test
+	start := time.Now()
+	work()
+	//gpureach:allow detclock -- fixture: the taint source under test
+	rec.WallMS = float64(time.Since(start))
+}
+
+// Digest marshals a Record whose WallMS is wall-tainted without
+// cleansing it first — the seeded WallMS regression: the cache bytes
+// would differ by how fast this machine ran.
+func (r Record) Digest() []byte { // want "marshals .*Record.WallMS, wall-tainted at .*, without cleansing"
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// DigestHex folds the tainted field straight into the digest text.
+func (r Record) DigestHex() string { // want "reads .*Record.WallMS, wall-tainted at"
+	return fmt.Sprintf("%x", r.WallMS)
+}
+
+// stamp is the impurity the analysis follows through the call graph.
+func stamp() int64 {
+	//gpureach:allow detclock -- fixture: reached from Canonical under test
+	return time.Now().UnixNano()
+}
+
+// Canonical reaches the wall clock through a helper: the fact chain
+// carries the impurity back to the root.
+func Canonical() string { // want "time.Now reads the wall clock"
+	return fmt.Sprint(stamp())
+}
+
+// Canonical (the method form) ranges a map with no sort afterwards:
+// iteration order leaks into the canonical bytes.
+func (r Record) Canonical(tags map[string]int) string { // want "ranges a map in nondeterministic order"
+	s := r.App
+	for k := range tags {
+		s += k
+	}
+	return s
+}
+
+// Cache is the content-addressed store stand-in. Put cleanses WallMS
+// before the bytes exist — the idiom the analyzer proves, so this
+// root stays silent even though Record.WallMS is tainted.
+type Cache struct{}
+
+func (c *Cache) Put(rec Record) []byte {
+	rec.WallMS = 0
+	b, _ := json.MarshalIndent(rec, "", " ")
+	return b
+}
+
+// Digest on the cache walks its index in sorted order — the legal
+// collect-then-sort map iteration.
+func (c *Cache) Digest(index map[string]int) string {
+	keys := make([]string, 0, len(index))
+	for k := range index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k
+	}
+	return s
+}
+
+// DigestHex (the debug form) waives its sanctioned impurity on the
+// root itself.
+//
+//gpureach:allow digestpure -- fixture: debugging digest, never persisted
+func DigestHex() string {
+	//gpureach:allow detclock -- fixture: waived debug digest
+	return fmt.Sprint(time.Now().UnixNano())
+}

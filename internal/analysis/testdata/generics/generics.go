@@ -1,0 +1,56 @@
+// Package generics proves the loader and the analyzers handle
+// type-parameterized code: a wall-clock read inside a generic helper
+// is still found, and generic containers, constraints and methods
+// type-check cleanly under the source loader.
+package generics
+
+import "time"
+
+// Pair is a type-parameterized container.
+type Pair[T any] struct {
+	A, B T
+}
+
+// Swap exercises methods on generic receivers.
+func (p Pair[T]) Swap() Pair[T] {
+	return Pair[T]{A: p.B, B: p.A}
+}
+
+// stampedPair reads the wall clock inside a generic function body:
+// the violation must survive instantiation-independent analysis.
+func stampedPair[T any](v T) (Pair[T], int64) {
+	now := time.Now().UnixNano() // want "time.Now reads the wall clock"
+	return Pair[T]{A: v, B: v}, now
+}
+
+// Map applies f elementwise — a clean generic helper.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Number is a union constraint, the other generics surface worth
+// pinning under the source loader.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+// Sum folds a Number slice in index order (deterministic for ints;
+// instantiating with floats is the caller's lookout).
+func Sum[N Number](xs []N) N {
+	var total N
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// use ties the helpers together so nothing is dead code.
+func use() (Pair[int], int) {
+	p, _ := stampedPair(1)
+	q := p.Swap()
+	return q, Sum(Map([]int{1, 2}, func(x int) int { return x * 2 }))
+}

@@ -1,0 +1,96 @@
+// Package goroleak exercises the goroleak analyzer: goroutines with
+// no provable join or cancel path fire; the WaitGroup pairing, the
+// context-done select, the closed-channel range, the spawner-owned
+// buffered result, and an explicitly waived detachment stay silent.
+package goroleak
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// leakyWait blocks forever on a channel nobody closes — the canonical
+// leak: the goroutine outlives every campaign that spawned it.
+func leakyWait(ch chan int) {
+	go func() { // want "no proven join or cancel path"
+		<-ch
+	}()
+}
+
+// drainForever ranges a channel that no function in the program
+// closes, so the loop never exits.
+func drainForever(ch chan int) {
+	for range ch {
+	}
+}
+
+// leakyNamed spawns the named leaker; the fact carries the missing
+// join path across the call.
+func leakyNamed(ch chan int) {
+	go drainForever(ch) // want "no proven join or cancel path"
+}
+
+// leakyExternal spawns a function the analysis has no body for: the
+// conservative position is to require a waiver.
+func leakyExternal() {
+	go fmt.Println("orphan") // want "no body for"
+}
+
+// joinedWorker is the WaitGroup idiom: Add before the spawn, Done on
+// every exit path of the body, Wait at the join point.
+func joinedWorker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// cancellable is the context idiom: caller cancellation reaches the
+// goroutine through the Done select.
+func cancellable(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// pool is the owned-channel shutdown idiom: start ranges jobs, stop
+// closes it, so the worker provably retires.
+type pool struct {
+	jobs chan int
+}
+
+func (p *pool) start() {
+	go func() {
+		for range p.jobs {
+		}
+	}()
+}
+
+func (p *pool) stop() {
+	close(p.jobs)
+}
+
+// bufferedResult is the one-shot result idiom: the only blocking op is
+// a send into a spawner-owned buffered channel, so the body retires
+// even if nobody reads the result.
+func bufferedResult(work func() error) chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return errc
+}
+
+// allowedDetached documents a sanctioned process-lifetime goroutine.
+func allowedDetached(ch chan int) {
+	//gpureach:allow goroleak -- fixture: process-lifetime helper by design
+	go func() {
+		<-ch
+	}()
+}

@@ -1,0 +1,118 @@
+// Package lockorder exercises the lockorder analyzer: re-acquiring a
+// held mutex, closing an acquisition-order cycle, and holding a lock
+// across blocking channel ops, WaitGroup joins, or dynamic calls all
+// fire; the guarded critical section, select-with-default, and an
+// explicitly waived send stay silent.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	wg  sync.WaitGroup
+)
+
+var events = make(chan int)
+
+// reentrant locks a mutex it already holds: sync.Mutex does not
+// support recursive locking, so this parks forever.
+func reentrant() {
+	muA.Lock()
+	muA.Lock() // want "already held: sync.Mutex is not reentrant"
+	muA.Unlock()
+	muA.Unlock()
+}
+
+// abOrder establishes the muA → muB acquisition order.
+func abOrder() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// baOrder acquires in the opposite order, closing a cycle with
+// abOrder: two goroutines running these concurrently deadlock.
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want "creates a lock-order cycle"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// sendUnderLock parks on an unbuffered send with the lock held: a
+// stalled receiver wedges every other holder.
+func sendUnderLock(v int) {
+	muA.Lock()
+	events <- v // want "channel send while holding"
+	muA.Unlock()
+}
+
+// recvUnderLock parks on a receive with the lock held.
+func recvUnderLock() int {
+	muA.Lock()
+	defer muA.Unlock()
+	return <-events // want "channel receive while holding"
+}
+
+// waitUnderLock holds the lock across a WaitGroup join: a worker that
+// needs the lock to finish can never let Wait return.
+func waitUnderLock() {
+	muA.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding"
+	muA.Unlock()
+}
+
+// callbackUnderLock invokes a caller-supplied callback with the lock
+// held: the callback is invisible to analysis and may block or
+// re-enter the locked structure.
+func callbackUnderLock(notify func(int)) {
+	muA.Lock()
+	notify(7) // want "dynamic call notify"
+	muA.Unlock()
+}
+
+// locksA is a helper whose acquisition set propagates as a Fact.
+func locksA() {
+	muA.Lock()
+	muA.Unlock()
+}
+
+// callsLockerUnderLock calls a function that acquires the very lock
+// it is holding — the indirect form of reentrant.
+func callsLockerUnderLock() {
+	muA.Lock()
+	locksA() // want "which it acquires itself: self-deadlock"
+	muA.Unlock()
+}
+
+// guarded is the correct pattern: acquire, mutate, release on every
+// path via defer.
+func guarded(f func()) {
+	muA.Lock()
+	defer muA.Unlock()
+	_ = f
+}
+
+// tryPublish is the sanctioned non-blocking shape: a select with a
+// default case never parks, so holding the lock across it is safe.
+func tryPublish(v int) bool {
+	muA.Lock()
+	defer muA.Unlock()
+	select {
+	case events <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// allowedSend shows the waiver: a send the author proves non-blocking
+// by construction (capacity reserved ahead of time).
+func allowedSend(v int) {
+	muA.Lock()
+	//gpureach:allow lockorder -- fixture: peer capacity is reserved before publication
+	events <- v
+	muA.Unlock()
+}

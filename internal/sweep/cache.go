@@ -57,6 +57,13 @@ func (c *Cache) Put(rec Record) error {
 	if rec.Failed() {
 		return fmt.Errorf("sweep cache: refusing to cache failed run %s", rec.Digest)
 	}
+	// A cache file's bytes depend only on the run, never on how fast
+	// this machine executed it: the wall-clock cost is stripped before
+	// the bytes exist. Zeroing here (rather than trusting callers) is
+	// what lets the digestpure analyzer prove the whole cache path
+	// clean; Get zeroes WallMS too, for caches written before this
+	// rule existed.
+	rec.WallMS = 0
 	data, err := json.MarshalIndent(rec, "", " ")
 	if err != nil {
 		return fmt.Errorf("sweep cache: %w", err)

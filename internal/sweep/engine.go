@@ -44,8 +44,11 @@ type Options struct {
 	// time.Sleep.
 	Sleep func(time.Duration)
 	// Progress, when set, observes every completed run (executed,
-	// cached, journal-skipped or failed) with running totals. Called
-	// from worker goroutines under the engine lock — keep it fast.
+	// cached, journal-skipped or failed) with running totals. It is
+	// called from worker goroutines concurrently and outside the
+	// campaign lock — a callback that blocks cannot stall other
+	// workers' bookkeeping, but consumers that aggregate must
+	// synchronize themselves.
 	Progress func(Progress)
 	// RunFn overrides the simulation entry point (tests inject
 	// failures and counters here). Default: ExecuteRun.
@@ -151,7 +154,6 @@ func Execute(spec Spec, opts Options) (*Campaign, error) {
 	)
 	finish := func(i int, rec Record, infraErr error) {
 		mu.Lock()
-		defer mu.Unlock()
 		c.Records[i] = rec
 		done++
 		c.Stats.Retries += len(rec.RetryErrors)
@@ -161,13 +163,19 @@ func Execute(spec Spec, opts Options) (*Campaign, error) {
 		if infraErr != nil && firstErr == nil {
 			firstErr = infraErr
 		}
+		// Snapshot under the lock, deliver outside it: a Progress
+		// callback that blocks (or re-enters campaign state) must never
+		// wedge the other workers' bookkeeping — the lockorder analyzer
+		// rejects dynamic calls made with the lock held.
+		prog := Progress{
+			Completed: done, Total: c.Stats.Total,
+			Executed: c.Stats.Executed, CacheHits: c.Stats.CacheHits,
+			JournalHits: c.Stats.JournalHits, Retries: c.Stats.Retries,
+			Failed: c.Stats.Failed, Record: rec,
+		}
+		mu.Unlock()
 		if opts.Progress != nil {
-			opts.Progress(Progress{
-				Completed: done, Total: c.Stats.Total,
-				Executed: c.Stats.Executed, CacheHits: c.Stats.CacheHits,
-				JournalHits: c.Stats.JournalHits, Retries: c.Stats.Retries,
-				Failed: c.Stats.Failed, Record: rec,
-			})
+			opts.Progress(prog)
 		}
 	}
 

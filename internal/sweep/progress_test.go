@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProgressCallbacksRunConcurrently pins the finish-path contract
+// documented on Options.Progress: the callback is delivered outside
+// the campaign lock, so two workers' callbacks can be in flight at
+// once. The two callbacks rendezvous — each blocks until both have
+// entered. A regression that moves the delivery back under the mutex
+// serializes them (the second caller parks on mu.Lock while the first
+// waits inside its callback) and the rendezvous times out. Running
+// under -race additionally pins that the Progress snapshot is handed
+// off safely rather than aliasing locked campaign state.
+func TestProgressCallbacksRunConcurrently(t *testing.T) {
+	spec := Spec{
+		Apps:    []string{"ATAX", "SRAD"},
+		Schemes: []string{"baseline"},
+		Scale:   0.05,
+		L2TLB:   []int{512},
+	} // exactly two runs, one per worker
+
+	var entered int32
+	release := make(chan struct{})
+	progress := func(p Progress) {
+		if atomic.AddInt32(&entered, 1) == 2 {
+			close(release)
+		}
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+			t.Error("second Progress callback never started while the first was blocked: callbacks are serialized, likely delivered under the campaign lock again")
+		}
+	}
+
+	stub := func(Run) (RunResult, error) { return RunResult{}, nil }
+	c, err := Execute(spec, Options{Procs: 2, RunFn: stub, Progress: progress})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := atomic.LoadInt32(&entered); got != 2 {
+		t.Fatalf("progress callbacks entered = %d, want 2", got)
+	}
+	if c.Stats.Executed != 2 {
+		t.Fatalf("executed = %d, want 2", c.Stats.Executed)
+	}
+}

@@ -215,13 +215,10 @@ func (e *Engine) execute(f *flight) Outcome {
 	rec := executeWithRetry(f.run, f.digest, e.opts)
 	var infraErr error
 	if e.opts.Cache != nil && !rec.Failed() {
-		// Strip the wall-clock cost before persisting so a cache
-		// file's bytes depend only on the run, never on how fast this
-		// machine happened to execute it. (Get zeroes WallMS too, for
-		// caches written before this rule existed.)
-		cached := rec
-		cached.WallMS = 0
-		infraErr = e.opts.Cache.Put(cached)
+		// Put strips the wall-clock cost itself (and digestpure proves
+		// it), so the journal record keeps its WallMS while the cache
+		// file stays byte-identical across campaigns.
+		infraErr = e.opts.Cache.Put(rec)
 	}
 	return Outcome{Record: rec, InfraErr: infraErr}
 }
