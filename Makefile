@@ -20,6 +20,11 @@
 #   make serve-smoke  end-to-end drive of `gpureach serve`: duplicate concurrent
 #                     campaigns over HTTP, event streams, aggregate byte-identity
 #                     vs the CLI sweep, coalesce/cache dedup, SIGTERM drain
+#   make shard-smoke  process-sharded campaign: the same sweep through a
+#                     2-worker `gpureach worker` subprocess fleet and through
+#                     the in-process pool, asserting byte-identical aggregates
+#   make bench-scale  footprint-scaling trajectory: GUPS ic+lds at scale
+#                     0.05/0.25/1.0, appended to BENCH_core.json with labels
 #   make coverage     statement-coverage gate: internal/sample and
 #                     internal/stats must each cover >= 85%
 
@@ -27,7 +32,7 @@ GO ?= go
 
 .DEFAULT_GOAL := tier1
 
-.PHONY: tier1 tier2 lint bench bench-smoke bench-paper sweep-smoke chaos-smoke sample-smoke serve-smoke coverage
+.PHONY: tier1 tier2 lint bench bench-smoke bench-paper bench-scale sweep-smoke chaos-smoke sample-smoke serve-smoke shard-smoke coverage
 
 tier1:
 	$(GO) build ./...
@@ -101,6 +106,25 @@ sample-smoke:
 
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# The fleet workers are spawned from the campaign binary itself
+# (os.Executable + "worker"), so the smoke builds a real binary first —
+# exactly the deployment shape, not a `go run` temp artifact.
+shard-smoke:
+	rm -rf .shard-smoke
+	$(GO) build -o .shard-smoke/gpureach ./cmd/gpureach
+	./.shard-smoke/gpureach sweep -apps ATAX,GUPS -schemes ic+lds \
+		-scale 0.05 -workers 2 -out .shard-smoke/fleet -bench '' -quiet -no-tables
+	./.shard-smoke/gpureach sweep -apps ATAX,GUPS -schemes ic+lds \
+		-scale 0.05 -procs 2 -out .shard-smoke/inproc -bench '' -quiet -no-tables
+	cmp .shard-smoke/fleet/aggregate.json .shard-smoke/inproc/aggregate.json
+	cmp .shard-smoke/fleet/aggregate.csv .shard-smoke/inproc/aggregate.csv
+	@echo "shard-smoke: 2-worker subprocess fleet byte-identical to the in-process pool"
+
+bench-scale:
+	$(GO) run ./cmd/benchcore -app GUPS -scheme ic+lds -scale 0.05 -label "GUPS/ic+lds scale=0.05" -out BENCH_core.json
+	$(GO) run ./cmd/benchcore -app GUPS -scheme ic+lds -scale 0.25 -label "GUPS/ic+lds scale=0.25" -out BENCH_core.json
+	$(GO) run ./cmd/benchcore -app GUPS -scheme ic+lds -scale 1.0 -label "GUPS/ic+lds scale=1.0" -out BENCH_core.json
 
 coverage:
 	$(GO) test -coverprofile=.coverage.out ./internal/sample/ ./internal/stats/

@@ -10,6 +10,7 @@ import (
 
 	"gpureach/internal/cli"
 	"gpureach/internal/sample"
+	"gpureach/internal/shard"
 	"gpureach/internal/sweep"
 )
 
@@ -29,6 +30,8 @@ func runSweep(args []string) {
 	trials := fs.Int("trials", 0, "trials per non-zero chaos rate when -chaos-seeds is empty (default: 1)")
 	sampleSpec := fs.String("sample", "", "sampled execution for every run, e.g. windows=6,frac=0.25,seed=1 (empty: full detail; journals mean ± 95% CI)")
 	procs := fs.Int("procs", 0, "worker pool size (default: GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "process-sharded execution: run simulations in N gpureach worker subprocesses (own heap/GC, GOMAXPROCS=1 each) instead of in-process goroutines")
+	remote := fs.String("remote", "", "comma-separated TCP addresses of gpureach worker -listen processes; each address adds one fleet slot (implies sharded execution)")
 	out := fs.String("out", "sweep-out", "campaign directory (cache/, journal.jsonl, aggregate.json/csv)")
 	resume := fs.Bool("resume", false, "resume a killed campaign from its journal")
 	retries := fs.Int("retries", 3, "max attempts per run on simulation errors")
@@ -88,6 +91,23 @@ func runSweep(args []string) {
 		OutDir:      *out,
 		Resume:      *resume,
 		MaxAttempts: *retries,
+	}
+	label := "gpureach sweep"
+	remotes := splitList(*remote)
+	if *workers > 0 || len(remotes) > 0 {
+		if *workers < 0 {
+			fatalf("bad -workers %d", *workers)
+		}
+		sup, err := shard.New(shard.Config{Workers: *workers, Remote: remotes})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer sup.Close()
+		// One engine goroutine per fleet slot: the subprocesses are the
+		// parallelism, the in-process pool just keeps them all fed.
+		opts.RunFn = sup.Run
+		opts.Procs = sup.Slots()
+		label = fmt.Sprintf("gpureach sweep -workers %d", sup.Slots())
 	}
 	if !*quiet {
 		opts.Progress = func(p sweep.Progress) {
@@ -161,7 +181,7 @@ func runSweep(args []string) {
 		}
 	}
 	if *bench != "" {
-		entry := sweep.BenchEntryFor(campaign, agg, opts.Procs, "gpureach sweep")
+		entry := sweep.BenchEntryFor(campaign, agg, opts.Procs, label)
 		if err := sweep.AppendBench(*bench, entry); err != nil {
 			fatalf("%v", err)
 		}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"gpureach/internal/shard"
+	"gpureach/internal/sweep"
+)
+
+// runWorker is the `gpureach worker` subcommand: one slot of a
+// process-sharded campaign fleet. By default it speaks the shard
+// protocol on stdin/stdout — the form the supervisor spawns — and with
+// -listen it serves the same protocol over TCP so remote machines can
+// contribute slots to a campaign.
+//
+// Stdout is the wire: nothing else may print there. Diagnostics go to
+// stderr.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("gpureach worker", flag.ExitOnError)
+	listen := fs.String("listen", "", "serve the worker protocol on this TCP address (host:port) instead of stdin/stdout")
+	maxprocs := fs.Int("gomaxprocs", 0, "GOMAXPROCS for this worker (0 keeps the environment's value; the supervisor spawns local workers with GOMAXPROCS=1)")
+	fs.Parse(args)
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
+
+	if *listen != "" {
+		if err := shard.ListenAndServe(*listen, sweep.ExecuteRun, os.Stderr); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if err := shard.Serve(os.Stdin, os.Stdout, sweep.ExecuteRun); err != nil {
+		fmt.Fprintf(os.Stderr, "gpureach worker: %v\n", err)
+		os.Exit(1)
+	}
+}

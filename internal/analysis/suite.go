@@ -40,19 +40,21 @@ func simPackage(path string) bool {
 		return false
 	}
 	switch strings.SplitN(rest, "/", 2)[0] {
-	case "analysis", "cli", "serve", "sweep":
+	case "analysis", "cli", "serve", "shard", "sweep":
 		return false
 	}
 	return true
 }
 
-// simErrPackage extends the simerr scope to the sweep engine and the
-// campaign server: those layers must stay panic-free too, they just
-// may read the wall clock.
+// simErrPackage extends the simerr scope to the sweep engine, the
+// campaign server and the shard supervisor: those layers must stay
+// panic-free too, they just may read the wall clock (timeouts, health
+// checks, bench trajectories).
 func simErrPackage(path string) bool {
 	return simPackage(path) ||
 		path == "gpureach/internal/sweep" ||
-		path == "gpureach/internal/serve"
+		path == "gpureach/internal/serve" ||
+		path == "gpureach/internal/shard"
 }
 
 // concurrentPackage scopes ctxguard to the concurrent substrate: the
@@ -61,7 +63,8 @@ func simErrPackage(path string) bool {
 // points are exactly where root contexts are minted.
 func concurrentPackage(path string) bool {
 	switch path {
-	case "gpureach/internal/serve", "gpureach/internal/sweep", "gpureach/internal/metrics":
+	case "gpureach/internal/serve", "gpureach/internal/sweep",
+		"gpureach/internal/shard", "gpureach/internal/metrics":
 		return true
 	}
 	return false

@@ -1,0 +1,158 @@
+// Package shard executes campaign runs across process boundaries: a
+// supervisor dispatches run descriptors to a fleet of `gpureach
+// worker` subprocesses (and, optionally, remote workers speaking the
+// same protocol over TCP) and plugs into the sweep engine through the
+// EngineOptions.RunFn seam. Each worker is its own OS process with its
+// own heap, its own garbage collector and GOMAXPROCS=1, so
+// large-footprint runs scale across cores without sharing one Go
+// runtime; because every run is content-addressed and results
+// round-trip losslessly through JSON, a sharded campaign's aggregates
+// are byte-identical to in-process execution at any worker count — the
+// existing determinism tests are this backend's SLA.
+//
+// The wire protocol is deliberately minimal: length-prefixed JSON
+// frames over the worker's stdin/stdout (or a TCP connection), one
+// envelope message type, a version-checked handshake, and synchronous
+// request/response — the supervisor never has more than one frame in
+// flight per worker, so a timeout retires the whole worker and no
+// stale frame can ever be mis-matched to a later job.
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"gpureach/internal/sim"
+	"gpureach/internal/sweep"
+)
+
+// ProtocolVersion is the wire protocol revision. The handshake rejects
+// a peer speaking any other revision: a version-skewed worker binary
+// must fail loudly at spawn, never corrupt a campaign silently.
+const ProtocolVersion = 1
+
+// maxFrame bounds one frame's payload. Run results are a few KB of
+// JSON; a length prefix beyond this means a corrupt or hostile peer.
+const maxFrame = 64 << 20
+
+// Message kinds. One envelope struct keeps the codec trivial; the Type
+// field selects which other fields are meaningful.
+const (
+	// MsgHello opens a session (supervisor → worker), MsgReady accepts
+	// it (worker → supervisor). Both carry Proto for the version check.
+	MsgHello = "hello"
+	MsgReady = "ready"
+	// MsgJob dispatches one run (supervisor → worker); MsgResult
+	// answers it (worker → supervisor) with the same ID.
+	MsgJob    = "job"
+	MsgResult = "result"
+	// MsgPing/MsgPong is the idle health check.
+	MsgPing = "ping"
+	MsgPong = "pong"
+	// MsgExit asks the worker to retire cleanly after the current
+	// frame; closing its stdin has the same effect.
+	MsgExit = "exit"
+)
+
+// Message is the single wire envelope. Frames are 4-byte big-endian
+// payload length + JSON payload.
+type Message struct {
+	Type string `json:"type"`
+	// Proto and Pid travel on the hello/ready handshake.
+	Proto int `json:"proto,omitempty"`
+	Pid   int `json:"pid,omitempty"`
+	// ID correlates a job or ping with its answer.
+	ID uint64 `json:"id,omitempty"`
+	// Run is the job's descriptor (MsgJob).
+	Run *sweep.Run `json:"run,omitempty"`
+	// Result carries the run's measurements (MsgResult). Present even
+	// on failures: a chaos run that died still returns its injector
+	// evidence, exactly as the in-process path does.
+	Result *sweep.RunResult `json:"result,omitempty"`
+	// SimErr is a structured simulation failure, field-for-field — the
+	// supervisor re-raises it as the same *sim.SimError the in-process
+	// path would have returned, so retry semantics and journaled error
+	// strings are identical across backends.
+	SimErr *sim.SimError `json:"sim_err,omitempty"`
+	// Err is an unstructured failure's message (SimErr == nil).
+	Err string `json:"err,omitempty"`
+}
+
+// runError reconstructs the error a result message carries: the
+// structured *sim.SimError when one crossed the wire, an opaque error
+// for anything else, nil for success.
+func (m *Message) runError() error {
+	switch {
+	case m.SimErr != nil:
+		return m.SimErr
+	case m.Err != "":
+		return fmt.Errorf("%s", m.Err)
+	}
+	return nil
+}
+
+// resultMessage encodes one finished run as a MsgResult frame.
+func resultMessage(id uint64, rr sweep.RunResult, err error) Message {
+	m := Message{Type: MsgResult, ID: id, Result: &rr}
+	if err != nil {
+		var se *sim.SimError
+		if errors.As(err, &se) {
+			m.SimErr = se
+		} else {
+			m.Err = err.Error()
+		}
+	}
+	return m
+}
+
+// writeFrame marshals one message as a length-prefixed frame and
+// flushes it — every frame is a complete protocol step, so the peer
+// must see it immediately.
+func writeFrame(w *bufio.Writer, m Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("shard: encode %s frame: %w", m.Type, err)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("shard: %s frame of %d bytes exceeds the %d-byte bound", m.Type, len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one length-prefixed message. io.EOF (clean close
+// between frames) passes through unwrapped so callers can treat it as
+// an orderly shutdown; a partial frame is an error.
+func readFrame(r *bufio.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("shard: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("shard: frame of %d bytes exceeds the %d-byte bound", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, fmt.Errorf("shard: read %d-byte frame: %w", n, err)
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Message{}, fmt.Errorf("shard: decode frame: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,375 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gpureach/internal/metrics"
+	"gpureach/internal/sim"
+	"gpureach/internal/sweep"
+)
+
+// The supervisor tests need real worker subprocesses. Instead of
+// building a separate helper binary, the test binary re-execs itself:
+// TestMain intercepts the run when the worker marker env var is set and
+// speaks the worker protocol on stdin/stdout, exactly as `gpureach
+// worker` does.
+const (
+	workerEnv = "GPUREACH_SHARD_TEST_WORKER"
+	// crashEnv points at a sentinel file; a worker finding it absent
+	// creates it and dies mid-run without a result frame — a
+	// deterministic kill -9 stand-in. The respawned worker finds the
+	// sentinel and executes normally, so exactly one attempt is lost.
+	crashEnv = "GPUREACH_SHARD_TEST_CRASH_SENTINEL"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		if err := Serve(os.Stdin, os.Stdout, helperRun); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func helperRun(run sweep.Run) (sweep.RunResult, error) {
+	if path := os.Getenv(crashEnv); path != "" {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			os.WriteFile(path, []byte("crashed here\n"), 0o644)
+			os.Exit(3)
+		}
+	}
+	return sweep.ExecuteRun(run)
+}
+
+// testFleet configures a supervisor whose workers are re-execs of this
+// test binary. The prober is off: these tests drive every transport
+// interaction themselves.
+func testFleet(workers int, env ...string) Config {
+	return Config{
+		Workers:   workers,
+		Command:   []string{os.Args[0]},
+		Env:       append([]string{workerEnv + "=1"}, env...),
+		PingEvery: -1,
+	}
+}
+
+func smallSpec() sweep.Spec {
+	return sweep.Spec{Apps: []string{"ATAX"}, Schemes: []string{"lds"}, Scale: 0.05}
+}
+
+func aggregateBytes(t *testing.T, c *sweep.Campaign) ([]byte, []byte) {
+	t.Helper()
+	agg := c.Aggregate()
+	j, err := agg.JSON()
+	if err != nil {
+		t.Fatalf("aggregate JSON: %v", err)
+	}
+	csv, err := agg.CSV()
+	if err != nil {
+		t.Fatalf("aggregate CSV: %v", err)
+	}
+	return j, csv
+}
+
+// TestShardedAggregateByteIdentical is the backend's SLA: the same
+// campaign through a 2-worker subprocess fleet produces byte-identical
+// aggregate artifacts to the in-process pool.
+func TestShardedAggregateByteIdentical(t *testing.T) {
+	inproc, err := sweep.Execute(smallSpec(), sweep.Options{OutDir: t.TempDir(), Procs: 2})
+	if err != nil {
+		t.Fatalf("in-process execute: %v", err)
+	}
+	wantJSON, wantCSV := aggregateBytes(t, inproc)
+
+	sup, err := New(testFleet(2))
+	if err != nil {
+		t.Fatalf("new supervisor: %v", err)
+	}
+	defer sup.Close()
+	sharded, err := sweep.Execute(smallSpec(), sweep.Options{
+		OutDir: t.TempDir(), Procs: sup.Slots(), RunFn: sup.Run,
+	})
+	if err != nil {
+		t.Fatalf("sharded execute: %v", err)
+	}
+	gotJSON, gotCSV := aggregateBytes(t, sharded)
+
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("sharded aggregate.json differs from in-process:\n--- in-process\n%s\n--- sharded\n%s", wantJSON, gotJSON)
+	}
+	if !bytes.Equal(wantCSV, gotCSV) {
+		t.Errorf("sharded aggregate.csv differs from in-process:\n--- in-process\n%s\n--- sharded\n%s", wantCSV, gotCSV)
+	}
+	if st := sup.Stats(); st.Completed != st.Dispatched || st.Lost != 0 {
+		t.Errorf("fleet stats after clean campaign: %+v", st)
+	}
+}
+
+// TestWorkerCrashRecovery kills a worker mid-run and asserts the
+// engine's retry path re-executes the run on a fresh worker: one lost
+// attempt, one restart, and artifacts byte-identical to a crash-free
+// in-process campaign.
+func TestWorkerCrashRecovery(t *testing.T) {
+	spec := sweep.Spec{Apps: []string{"ATAX"}, Scale: 0.05} // baseline only: one run
+	inproc, err := sweep.Execute(spec, sweep.Options{OutDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("in-process execute: %v", err)
+	}
+	wantJSON, wantCSV := aggregateBytes(t, inproc)
+
+	sentinel := filepath.Join(t.TempDir(), "crash-once")
+	sup, err := New(testFleet(1, crashEnv+"="+sentinel))
+	if err != nil {
+		t.Fatalf("new supervisor: %v", err)
+	}
+	defer sup.Close()
+	c, err := sweep.Execute(spec, sweep.Options{
+		OutDir: t.TempDir(), Procs: sup.Slots(), RunFn: sup.Run,
+		MaxAttempts: 3, Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("sharded execute across crash: %v", err)
+	}
+
+	if len(c.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(c.Records))
+	}
+	rec := c.Records[0]
+	if rec.Failed() {
+		t.Fatalf("run failed terminally: %s", rec.Err)
+	}
+	if rec.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (crash costs exactly one retry)", rec.Attempts)
+	}
+	if len(rec.RetryErrors) != 1 || !strings.Contains(rec.RetryErrors[0], string(sim.ErrWorkerLost)) {
+		t.Errorf("retry errors = %q, want one %s error", rec.RetryErrors, sim.ErrWorkerLost)
+	}
+	st := sup.Stats()
+	if st.Lost != 1 || st.Restarts != 1 || st.Completed != 1 || st.Dispatched != 2 {
+		t.Errorf("fleet stats = %+v, want 1 lost / 1 restart / 1 completed / 2 dispatched", st)
+	}
+
+	gotJSON, gotCSV := aggregateBytes(t, c)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("post-crash aggregate.json differs from in-process:\n--- in-process\n%s\n--- sharded\n%s", wantJSON, gotJSON)
+	}
+	if !bytes.Equal(wantCSV, gotCSV) {
+		t.Errorf("post-crash aggregate.csv differs from in-process")
+	}
+
+	// The fleet gauges surface the incident (satellite: serve /metrics).
+	reg := metrics.NewRegistry()
+	sup.PublishMetrics(reg)
+	if got := reg.Get("shard_worker_restarts"); got != 1 {
+		t.Errorf("shard_worker_restarts gauge = %v, want 1", got)
+	}
+	if got := reg.Get("shard_jobs_lost"); got != 1 {
+		t.Errorf("shard_jobs_lost gauge = %v, want 1", got)
+	}
+	if got := reg.Get("shard_workers"); got != 1 {
+		t.Errorf("shard_workers gauge = %v, want 1", got)
+	}
+	if got := reg.Get("shard_worker00_jobs"); got != 2 {
+		t.Errorf("shard_worker00_jobs gauge = %v, want 2", got)
+	}
+}
+
+// TestRemoteWorkerTCP exercises the TCP transport end to end: a
+// listener speaking the worker protocol in-process (stub for a
+// `gpureach worker -listen` on another host) serves a fleet of one
+// remote slot, and the shipped result matches local execution exactly.
+func TestRemoteWorkerTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				Serve(conn, conn, helperRun)
+			}()
+		}
+	}()
+
+	sup, err := New(Config{
+		Remote:    []string{ln.Addr().String()},
+		Command:   []string{os.Args[0]},
+		PingEvery: -1,
+	})
+	if err != nil {
+		t.Fatalf("new supervisor: %v", err)
+	}
+	defer sup.Close()
+	if sup.Slots() != 1 {
+		t.Fatalf("slots = %d, want 1 (purely remote fleet)", sup.Slots())
+	}
+
+	run := sweep.Run{App: "ATAX", Scheme: "baseline", Scale: 0.05, L2TLB: 512, PageSize: "4K"}
+	got, err := sup.Run(run)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	want, err := sweep.ExecuteRun(run)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("remote result differs from local:\n--- local\n%s\n--- remote\n%s", wantJSON, gotJSON)
+	}
+}
+
+// scriptSession feeds Serve a scripted supervisor side and returns the
+// worker's answer frames.
+func scriptSession(t *testing.T, run RunFn, frames ...Message) ([]Message, error) {
+	t.Helper()
+	var in bytes.Buffer
+	bw := bufio.NewWriter(&in)
+	for _, m := range frames {
+		if err := writeFrame(bw, m); err != nil {
+			t.Fatalf("script frame %s: %v", m.Type, err)
+		}
+	}
+	var out bytes.Buffer
+	serveErr := Serve(&in, &out, run)
+	var answers []Message
+	br := bufio.NewReader(&out)
+	for {
+		m, err := readFrame(br)
+		if err != nil {
+			break
+		}
+		answers = append(answers, m)
+	}
+	return answers, serveErr
+}
+
+func TestServeSession(t *testing.T) {
+	run := sweep.Run{App: "ATAX", Scheme: "baseline", Scale: 1, L2TLB: 512, PageSize: "4K"}
+	simErr := &sim.SimError{Kind: sim.ErrInvariant, Msg: "injected for the wire"}
+	stub := func(r sweep.Run) (sweep.RunResult, error) {
+		if r != run {
+			t.Errorf("worker got run %+v, want %+v", r, run)
+		}
+		return sweep.RunResult{}, simErr
+	}
+	answers, err := scriptSession(t, stub,
+		Message{Type: MsgHello, Proto: ProtocolVersion},
+		Message{Type: MsgPing, ID: 7},
+		Message{Type: MsgJob, ID: 8, Run: &run},
+		Message{Type: MsgExit},
+	)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("got %d answer frames, want 3 (ready, pong, result)", len(answers))
+	}
+	if answers[0].Type != MsgReady || answers[0].Proto != ProtocolVersion {
+		t.Errorf("handshake answer = %+v, want ready at v%d", answers[0], ProtocolVersion)
+	}
+	if answers[1].Type != MsgPong || answers[1].ID != 7 {
+		t.Errorf("ping answer = %+v, want pong id 7", answers[1])
+	}
+	res := answers[2]
+	if res.Type != MsgResult || res.ID != 8 {
+		t.Errorf("job answer = %+v, want result id 8", res)
+	}
+	// The structured error must reconstruct to the identical string the
+	// in-process path would have journaled.
+	if got := res.runError(); got == nil || got.Error() != simErr.Error() {
+		t.Errorf("round-tripped error = %v, want %v", got, simErr)
+	}
+	var se *sim.SimError
+	if got := res.runError(); !asSimErr(got, &se) || se.Kind != sim.ErrInvariant {
+		t.Errorf("round-tripped error lost its structure: %#v", got)
+	}
+}
+
+func asSimErr(err error, target **sim.SimError) bool {
+	se, ok := err.(*sim.SimError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestServeRejectsVersionSkew(t *testing.T) {
+	_, err := scriptSession(t, helperRun, Message{Type: MsgHello, Proto: ProtocolVersion + 1})
+	if err == nil || !strings.Contains(err.Error(), "protocol version mismatch") {
+		t.Errorf("version-skewed hello: err = %v, want protocol version mismatch", err)
+	}
+}
+
+func TestServeRejectsNonHelloOpen(t *testing.T) {
+	_, err := scriptSession(t, helperRun, Message{Type: MsgPing, ID: 1})
+	if err == nil || !strings.Contains(err.Error(), "handshake") {
+		t.Errorf("ping before hello: err = %v, want handshake error", err)
+	}
+}
+
+func TestServeEOFIsOrderlyShutdown(t *testing.T) {
+	answers, err := scriptSession(t, helperRun, Message{Type: MsgHello, Proto: ProtocolVersion})
+	if err != nil {
+		t.Errorf("EOF after handshake: err = %v, want nil (orderly retirement)", err)
+	}
+	if len(answers) != 1 || answers[0].Type != MsgReady {
+		t.Errorf("answers = %+v, want just the ready frame", answers)
+	}
+}
+
+// TestSupervisorRejectsVersionSkew covers the supervisor side of the
+// handshake check via a TCP peer claiming the wrong revision.
+func TestSupervisorRejectsVersionSkew(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		bw := bufio.NewWriter(conn)
+		if _, err := readFrame(br); err != nil {
+			return
+		}
+		writeFrame(bw, Message{Type: MsgReady, Proto: ProtocolVersion + 1})
+	}()
+
+	_, err = New(Config{
+		Remote:    []string{ln.Addr().String()},
+		Command:   []string{os.Args[0]},
+		PingEvery: -1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Errorf("version-skewed worker accepted: err = %v", err)
+	}
+}
+
+func TestNewRejectsNegativeWorkers(t *testing.T) {
+	if _, err := New(Config{Workers: -1}); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}

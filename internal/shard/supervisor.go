@@ -1,0 +1,586 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync"
+	"time"
+
+	"gpureach/internal/metrics"
+	"gpureach/internal/sim"
+	"gpureach/internal/sweep"
+)
+
+// Config sizes a worker fleet.
+type Config struct {
+	// Workers is the local subprocess count. 0 with no Remote slots
+	// defaults to GOMAXPROCS; 0 with Remote slots means a purely
+	// remote fleet.
+	Workers int
+	// Command is the local worker argv (default: the current
+	// executable with the single argument "worker"). Tests point it at
+	// a helper binary.
+	Command []string
+	// Env entries are appended to the inherited environment of every
+	// local worker (after the GOMAXPROCS=1 the supervisor always
+	// sets).
+	Env []string
+	// Remote lists TCP addresses of `gpureach worker -listen`
+	// processes; each address contributes one fleet slot (dial the
+	// same address twice for two slots on that host).
+	Remote []string
+	// HandshakeTimeout bounds the spawn-to-ready handshake
+	// (default 10s).
+	HandshakeTimeout time.Duration
+	// PingTimeout bounds one health-check round trip (default 2s).
+	PingTimeout time.Duration
+	// PingEvery is the idle health-check interval: a background prober
+	// pings idle workers and replaces dead ones before a campaign
+	// wastes a retry on them. 0 defaults to 15s; negative disables the
+	// prober (checkout still detects death on first use).
+	PingEvery time.Duration
+	// JobTimeout bounds one run's execution on a worker; a worker that
+	// exceeds it is killed and the run retried. 0 disables the bound —
+	// runaway simulations are already caught worker-side by the engine
+	// watchdog, so the default trusts RunGuarded.
+	JobTimeout time.Duration
+	// Stderr receives local workers' stderr (default: this process's
+	// stderr).
+	Stderr io.Writer
+}
+
+// Supervisor owns a fleet of worker processes and dispatches runs to
+// them. Its Run method has the sweep.EngineOptions.RunFn signature, so
+// campaigns shard across processes by construction: the engine's
+// goroutine pool provides the bounded concurrency, and the free-worker
+// channel provides work stealing — whichever worker retires a job
+// first takes the next one, so a slow run never convoys the fleet.
+//
+// Fault model: any transport failure (worker crash, kill -9, timeout,
+// dropped TCP session) retires the worker, spawns a replacement into
+// the same slot, and surfaces a *sim.SimError of kind ErrWorkerLost —
+// which the engine's existing retry-with-backoff path re-executes,
+// costing exactly one retry. Workers never touch the journal or the
+// cache (both live supervisor-side, written only after a complete
+// result crosses the wire), so a mid-run death can never corrupt
+// either.
+type Supervisor struct {
+	cfg   Config
+	slots int
+
+	// free is the idle-worker pool. A worker is owned exclusively by
+	// whoever received it from this channel (a Run call, the prober,
+	// or Close) until it is sent back, so worker state needs no lock.
+	free chan *worker
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	proberWG sync.WaitGroup
+
+	started time.Time
+
+	mu      sync.Mutex
+	stats   Stats
+	perSlot []SlotStats
+}
+
+// Stats are the supervisor's lifetime totals.
+type Stats struct {
+	// Dispatched counts jobs handed to a worker; Completed those that
+	// returned a result frame (success or structured failure); Lost
+	// those that retired their worker instead.
+	Dispatched int64
+	Completed  int64
+	Lost       int64
+	// Restarts counts worker replacements, whatever the trigger
+	// (mid-run death, failed health check, failed respawn retried at
+	// next checkout).
+	Restarts int64
+	// Waiting is the dispatch-queue depth right now: Run calls blocked
+	// on a free worker.
+	Waiting int64
+}
+
+// SlotStats describe one fleet slot across all its incarnations.
+type SlotStats struct {
+	// Addr is "" for local subprocess slots, the dial address for
+	// remote ones.
+	Addr     string
+	Jobs     int64
+	Restarts int64
+	// Busy is the cumulative wall time the slot spent executing jobs —
+	// Busy / supervisor uptime is the slot's utilization.
+	Busy time.Duration
+}
+
+// worker is one live (or dead-and-awaiting-respawn) fleet slot
+// incarnation.
+type worker struct {
+	slot int
+	addr string // "" = local subprocess
+	tr   transport
+	seq  uint64 // job/ping correlation counter
+}
+
+// New spawns the fleet and starts the idle-health prober. Every local
+// worker is handshaked before New returns; a fleet that cannot start
+// is an error, not a degraded pool.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("shard: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers == 0 && len(cfg.Remote) == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(cfg.Command) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("shard: resolve worker executable: %w", err)
+		}
+		cfg.Command = []string{exe, "worker"}
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.PingTimeout <= 0 {
+		cfg.PingTimeout = 2 * time.Second
+	}
+	if cfg.PingEvery == 0 {
+		cfg.PingEvery = 15 * time.Second
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+
+	slots := cfg.Workers + len(cfg.Remote)
+	s := &Supervisor{
+		cfg:     cfg,
+		slots:   slots,
+		free:    make(chan *worker, slots),
+		stop:    make(chan struct{}),
+		started: time.Now(),
+		perSlot: make([]SlotStats, slots),
+	}
+	for i := 0; i < slots; i++ {
+		addr := ""
+		if i >= cfg.Workers {
+			addr = cfg.Remote[i-cfg.Workers]
+			s.perSlot[i].Addr = addr
+		}
+		w, err := s.spawn(i, addr)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.free <- w
+	}
+	if cfg.PingEvery > 0 {
+		s.proberWG.Add(1)
+		go s.prober()
+	}
+	return s, nil
+}
+
+// Slots returns the fleet size — what the engine's Procs should be so
+// every worker can hold one run.
+func (s *Supervisor) Slots() int { return s.slots }
+
+// Run executes one descriptor on the fleet: check a worker out, ship
+// the job, wait for the result frame. A transport failure anywhere in
+// that sequence replaces the worker and returns a retryable
+// *sim.SimError (kind ErrWorkerLost), routing worker death into the
+// engine's existing retry-with-backoff path.
+func (s *Supervisor) Run(run sweep.Run) (sweep.RunResult, error) {
+	w, err := s.checkout()
+	if err != nil {
+		return sweep.RunResult{}, err
+	}
+	s.mu.Lock()
+	s.stats.Dispatched++
+	s.perSlot[w.slot].Jobs++
+	s.mu.Unlock()
+
+	start := time.Now()
+	w.seq++
+	id := w.seq
+	resp, err := s.call(w, Message{Type: MsgJob, ID: id, Run: &run}, s.cfg.JobTimeout)
+	if err == nil && (resp.Type != MsgResult || resp.ID != id) {
+		err = fmt.Errorf("shard: worker %s answered job %d with %s frame id %d",
+			w.desc(), id, resp.Type, resp.ID)
+	}
+	busy := time.Since(start)
+	s.mu.Lock()
+	s.perSlot[w.slot].Busy += busy
+	s.mu.Unlock()
+
+	if err != nil {
+		s.retire(w)
+		s.mu.Lock()
+		s.stats.Lost++
+		s.mu.Unlock()
+		return sweep.RunResult{}, &sim.SimError{
+			Kind: sim.ErrWorkerLost,
+			Msg:  fmt.Sprintf("worker %s died executing %s: %v", w.desc(), run, err),
+		}
+	}
+	s.checkin(w)
+	s.mu.Lock()
+	s.stats.Completed++
+	s.mu.Unlock()
+	var rr sweep.RunResult
+	if resp.Result != nil {
+		rr = *resp.Result
+	}
+	return rr, resp.runError()
+}
+
+// checkout takes exclusive ownership of a worker, reviving a slot
+// whose previous incarnation died and could not be respawned at the
+// time. A slot that still cannot spawn yields a retryable worker-lost
+// error (and goes back in the pool as a dead marker), so a temporarily
+// unreachable remote host degrades into paced retries instead of
+// deadlocking the campaign.
+func (s *Supervisor) checkout() (*worker, error) {
+	s.mu.Lock()
+	s.stats.Waiting++
+	s.mu.Unlock()
+	var w *worker
+	select {
+	case w = <-s.free:
+	case <-s.stop:
+	}
+	s.mu.Lock()
+	s.stats.Waiting--
+	s.mu.Unlock()
+	if w == nil {
+		return nil, fmt.Errorf("shard: supervisor is closed")
+	}
+	if w.tr == nil { // dead marker: try to revive the slot
+		s.mu.Lock()
+		s.stats.Restarts++
+		s.perSlot[w.slot].Restarts++
+		s.mu.Unlock()
+		nw, err := s.spawn(w.slot, w.addr)
+		if err != nil {
+			s.free <- w
+			return nil, &sim.SimError{
+				Kind: sim.ErrWorkerLost,
+				Msg:  fmt.Sprintf("respawning worker slot %d: %v", w.slot, err),
+			}
+		}
+		w = nw
+	}
+	return w, nil
+}
+
+// checkin returns a healthy worker to the pool.
+func (s *Supervisor) checkin(w *worker) { s.free <- w }
+
+// retire kills a failed worker and slots in a replacement (or a dead
+// marker that checkout will revive) without ever shrinking the pool.
+func (s *Supervisor) retire(w *worker) {
+	w.tr.close()
+	s.mu.Lock()
+	s.stats.Restarts++
+	s.perSlot[w.slot].Restarts++
+	s.mu.Unlock()
+	nw, err := s.spawn(w.slot, w.addr)
+	if err != nil {
+		fmt.Fprintf(s.cfg.Stderr, "shard: respawning worker slot %d: %v\n", w.slot, err)
+		s.free <- &worker{slot: w.slot, addr: w.addr}
+		return
+	}
+	s.free <- nw
+}
+
+// call ships one frame and waits for the answer. timeout 0 waits
+// forever (the job path's default: the worker-side watchdog bounds
+// runs). The reader goroutine owns the transport's read side only
+// until it delivers into the buffered channel; on timeout the caller
+// retires the worker, which unblocks and retires the reader too.
+func (s *Supervisor) call(w *worker, m Message, timeout time.Duration) (Message, error) {
+	if err := w.tr.write(m); err != nil {
+		return Message{}, err
+	}
+	type readResult struct {
+		m   Message
+		err error
+	}
+	ch := make(chan readResult, 1)
+	go func() {
+		rm, err := w.tr.read()
+		ch <- readResult{rm, err}
+	}()
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-timerC:
+		return Message{}, fmt.Errorf("no %s answer within %v", m.Type, timeout)
+	}
+}
+
+// spawn starts one slot incarnation — a local subprocess or a remote
+// dial — and runs the version handshake.
+func (s *Supervisor) spawn(slot int, addr string) (*worker, error) {
+	var (
+		tr  transport
+		err error
+	)
+	if addr == "" {
+		tr, err = startProcess(s.cfg)
+	} else {
+		tr, err = dialRemote(addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard: spawn worker slot %d: %w", slot, err)
+	}
+	w := &worker{slot: slot, addr: addr, tr: tr}
+	ready, err := s.call(w, Message{Type: MsgHello, Proto: ProtocolVersion}, s.cfg.HandshakeTimeout)
+	if err != nil {
+		tr.close()
+		return nil, fmt.Errorf("shard: worker slot %d handshake: %w", slot, err)
+	}
+	if ready.Type != MsgReady {
+		tr.close()
+		return nil, fmt.Errorf("shard: worker slot %d handshake: got %q frame, want %q", slot, ready.Type, MsgReady)
+	}
+	if ready.Proto != ProtocolVersion {
+		tr.close()
+		return nil, fmt.Errorf("shard: worker slot %d speaks protocol v%d, supervisor v%d — rebuild the worker binary",
+			slot, ready.Proto, ProtocolVersion)
+	}
+	return w, nil
+}
+
+// prober is the idle health check: every PingEvery it pings whatever
+// workers are idle and replaces the dead ones, so a worker killed
+// between jobs is caught here instead of costing a campaign retry.
+func (s *Supervisor) prober() {
+	defer s.proberWG.Done()
+	t := time.NewTicker(s.cfg.PingEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.probeIdle()
+		}
+	}
+}
+
+// probeIdle pings every currently idle worker once. Workers checked
+// out by Run are simply not in the pool and are skipped — their next
+// transport use is their health check.
+func (s *Supervisor) probeIdle() {
+	var idle []*worker
+drain:
+	for len(idle) < s.slots {
+		select {
+		case w := <-s.free:
+			idle = append(idle, w)
+		default:
+			break drain
+		}
+	}
+	for _, w := range idle {
+		if w.tr == nil {
+			s.free <- w // dead marker: leave revival to checkout
+			continue
+		}
+		w.seq++
+		resp, err := s.call(w, Message{Type: MsgPing, ID: w.seq}, s.cfg.PingTimeout)
+		if err == nil && (resp.Type != MsgPong || resp.ID != w.seq) {
+			err = fmt.Errorf("shard: worker %s answered ping with %s frame", w.desc(), resp.Type)
+		}
+		if err != nil {
+			fmt.Fprintf(s.cfg.Stderr, "shard: health check: worker %s: %v — replacing\n", w.desc(), err)
+			s.retire(w)
+			continue
+		}
+		s.free <- w
+	}
+}
+
+// Close retires the fleet: workers get an exit frame and a grace
+// period, then the hard kill. Close must not race Run — the campaign
+// engine is drained first (sweep.Engine.Close, serve.Server.Drain),
+// exactly as it already is for the in-process pool.
+func (s *Supervisor) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.proberWG.Wait()
+	for i := 0; i < s.slots; i++ {
+		select {
+		case w := <-s.free:
+			if w.tr != nil {
+				w.tr.write(Message{Type: MsgExit})
+				w.tr.close()
+			}
+		default:
+		}
+	}
+}
+
+// PublishMetrics snapshots the fleet into registry gauges — the
+// substrate of `gpureach serve` /metrics for sharded executors:
+// dispatch totals, queue depth, restart counts, and one utilization
+// gauge per slot (busy wall time over supervisor uptime).
+func (s *Supervisor) PublishMetrics(reg *metrics.Registry) {
+	uptime := time.Since(s.started)
+	s.mu.Lock()
+	st := s.stats
+	per := make([]SlotStats, len(s.perSlot))
+	copy(per, s.perSlot)
+	s.mu.Unlock()
+
+	reg.Set("shard_workers", float64(s.slots))
+	reg.Set("shard_jobs_dispatched", float64(st.Dispatched))
+	reg.Set("shard_jobs_completed", float64(st.Completed))
+	reg.Set("shard_jobs_lost", float64(st.Lost))
+	reg.Set("shard_worker_restarts", float64(st.Restarts))
+	reg.Set("shard_dispatch_queue_depth", float64(st.Waiting))
+	for i, sl := range per {
+		util := 0.0
+		if uptime > 0 {
+			util = float64(sl.Busy) / float64(uptime)
+		}
+		reg.Set(fmt.Sprintf("shard_worker%02d_utilization", i), util)
+		reg.Set(fmt.Sprintf("shard_worker%02d_jobs", i), float64(sl.Jobs))
+		reg.Set(fmt.Sprintf("shard_worker%02d_restarts", i), float64(sl.Restarts))
+	}
+}
+
+// Stats returns the supervisor's lifetime totals.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// SlotStats returns per-slot totals.
+func (s *Supervisor) SlotStats() []SlotStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SlotStats, len(s.perSlot))
+	copy(out, s.perSlot)
+	return out
+}
+
+func (w *worker) desc() string {
+	if w.tr == nil {
+		return fmt.Sprintf("slot %d (dead)", w.slot)
+	}
+	return w.tr.desc()
+}
+
+// transport is one worker session's byte stream: a subprocess's pipes
+// or a TCP connection, framed identically.
+type transport interface {
+	write(Message) error
+	read() (Message, error)
+	// close tears the session down hard: kill the process / drop the
+	// connection. Safe to call more than once.
+	close()
+	desc() string
+}
+
+// procTransport is a local `gpureach worker` subprocess.
+type procTransport struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	bw    *bufio.Writer
+	br    *bufio.Reader
+
+	closeOnce sync.Once
+	waitC     chan error
+}
+
+// startProcess launches one local worker with GOMAXPROCS=1 (its own
+// heap and GC, one OS thread of simulation — the whole point of
+// process sharding) plus any configured extra environment.
+func startProcess(cfg Config) (*procTransport, error) {
+	cmd := exec.Command(cfg.Command[0], cfg.Command[1:]...)
+	cmd.Env = append(append(os.Environ(), "GOMAXPROCS=1"), cfg.Env...)
+	cmd.Stderr = cfg.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	// Reap the process as soon as it exits, whatever the cause; close
+	// joins on this buffered channel, so the reaper can never block.
+	waitC := make(chan error, 1)
+	go func() { waitC <- cmd.Wait() }()
+	return &procTransport{
+		cmd: cmd, stdin: stdin,
+		bw:    bufio.NewWriter(stdin),
+		br:    bufio.NewReader(stdout),
+		waitC: waitC,
+	}, nil
+}
+
+func (t *procTransport) write(m Message) error  { return writeFrame(t.bw, m) }
+func (t *procTransport) read() (Message, error) { return readFrame(t.br) }
+func (t *procTransport) desc() string {
+	return fmt.Sprintf("pid %d", t.cmd.Process.Pid)
+}
+
+// close closes stdin (EOF is the worker's retire signal), grants a
+// short grace period, then kills. The Wait goroutine has already
+// reaped the process by the time the join channel delivers.
+func (t *procTransport) close() {
+	t.closeOnce.Do(func() {
+		t.stdin.Close()
+		grace := time.NewTimer(2 * time.Second)
+		defer grace.Stop()
+		select {
+		case <-t.waitC:
+		case <-grace.C:
+			t.cmd.Process.Kill()
+			<-t.waitC
+		}
+	})
+}
+
+// tcpTransport is one session to a remote `gpureach worker -listen`.
+type tcpTransport struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+func dialRemote(addr string) (*tcpTransport, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpTransport{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+	}, nil
+}
+
+func (t *tcpTransport) write(m Message) error  { return writeFrame(t.bw, m) }
+func (t *tcpTransport) read() (Message, error) { return readFrame(t.br) }
+func (t *tcpTransport) close()                 { t.conn.Close() }
+func (t *tcpTransport) desc() string {
+	return t.conn.RemoteAddr().String()
+}

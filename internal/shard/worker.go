@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"gpureach/internal/sweep"
+)
+
+// RunFn is the simulation entry point a worker executes jobs with —
+// the same signature as sweep.EngineOptions.RunFn, so the production
+// worker plugs in sweep.ExecuteRun and tests plug in instrumented
+// stand-ins.
+type RunFn func(sweep.Run) (sweep.RunResult, error)
+
+// Serve speaks the worker side of the protocol over one byte stream
+// (the stdin/stdout of a `gpureach worker` subprocess, or one TCP
+// connection): answer the supervisor's hello, then execute jobs and
+// pings until the stream closes or an exit frame arrives. It returns
+// nil on an orderly shutdown (EOF between frames, or MsgExit) and an
+// error on protocol violations — a version-skewed or corrupt peer must
+// kill the session, never feed it garbage jobs.
+//
+// Serve never writes anything but protocol frames to w: a worker's
+// stdout is the wire, and any diagnostic output belongs on stderr.
+func Serve(r io.Reader, w io.Writer, run RunFn) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+
+	hello, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("shard worker: handshake: %w", err)
+	}
+	if hello.Type != MsgHello {
+		return fmt.Errorf("shard worker: handshake: got %q frame, want %q", hello.Type, MsgHello)
+	}
+	if hello.Proto != ProtocolVersion {
+		return fmt.Errorf("shard worker: protocol version mismatch: supervisor speaks v%d, this worker v%d",
+			hello.Proto, ProtocolVersion)
+	}
+	if err := writeFrame(bw, Message{Type: MsgReady, Proto: ProtocolVersion, Pid: os.Getpid()}); err != nil {
+		return fmt.Errorf("shard worker: handshake: %w", err)
+	}
+
+	for {
+		m, err := readFrame(br)
+		if err == io.EOF {
+			return nil // supervisor closed the stream: orderly retirement
+		}
+		if err != nil {
+			return fmt.Errorf("shard worker: %w", err)
+		}
+		switch m.Type {
+		case MsgPing:
+			if err := writeFrame(bw, Message{Type: MsgPong, ID: m.ID}); err != nil {
+				return fmt.Errorf("shard worker: %w", err)
+			}
+		case MsgExit:
+			return nil
+		case MsgJob:
+			if m.Run == nil {
+				return fmt.Errorf("shard worker: job frame %d carries no run descriptor", m.ID)
+			}
+			rr, runErr := run(*m.Run)
+			if err := writeFrame(bw, resultMessage(m.ID, rr, runErr)); err != nil {
+				return fmt.Errorf("shard worker: %w", err)
+			}
+		default:
+			return fmt.Errorf("shard worker: unexpected %q frame", m.Type)
+		}
+	}
+}
+
+// ListenAndServe runs a TCP worker: every accepted connection is one
+// independent protocol session executing jobs serially, so a remote
+// host contributes as many fleet slots as the supervisors hold
+// connections to it. Session errors are logged to errw and close only
+// that session. The listener runs until it fails (or the process is
+// signalled) — remote workers are infrastructure, retired by their
+// operator, not by a campaign.
+func ListenAndServe(addr string, run RunFn, errw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("shard worker: %w", err)
+	}
+	fmt.Fprintf(errw, "shard worker: listening on %s (protocol v%d)\n", ln.Addr(), ProtocolVersion)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("shard worker: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			if err := Serve(conn, conn, run); err != nil {
+				fmt.Fprintf(errw, "shard worker: session %s: %v\n", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -28,8 +29,14 @@ type BenchEntry struct {
 }
 
 // BenchEntryFor summarizes a finished campaign (with its aggregate's
-// first point carrying the geomeans).
+// first point carrying the geomeans). A non-positive procs means the
+// caller used the pool default, so it resolves to the effective
+// GOMAXPROCS here — a trajectory entry claiming "procs": 0 compares to
+// nothing.
 func BenchEntryFor(c *Campaign, agg *Aggregate, procs int, label string) BenchEntry {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
 	e := BenchEntry{
 		TimestampUTC: time.Now().UTC().Format(time.RFC3339),
 		Label:        label,
